@@ -1,0 +1,69 @@
+// Reproduces Figures 3 and 4: the Michael–Harris lock-free linked list with
+// 10^3 keys under every manual reclamation scheme plus OrcGC, across the
+// paper's three operation mixes (50i/50r, 5i/5r/90l, 100l) and a thread
+// sweep. The paper normalizes against the leak baseline ("None"); each row
+// prints absolute ops/s and the same normalization.
+//
+// Environment knobs: ORC_BENCH_MS, ORC_BENCH_RUNS, ORC_BENCH_THREADS,
+// ORC_BENCH_KEYS (default 1000, the paper's value).
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/bench_harness.hpp"
+#include "common/workload.hpp"
+#include "ds/michael_list.hpp"
+#include "ds/orc/michael_list_orc.hpp"
+#include "reclamation/reclamation.hpp"
+#include "set_bench_common.hpp"
+
+namespace orcgc {
+namespace {
+
+using Key = std::uint64_t;
+
+struct PointKey {
+    std::string mix;
+    int threads;
+    bool operator<(const PointKey& o) const {
+        return mix != o.mix ? mix < o.mix : threads < o.threads;
+    }
+};
+std::map<PointKey, double> g_baseline;
+
+template <typename Set>
+void run_series(const char* name, const BenchConfig& cfg, std::uint64_t keys,
+                bool is_baseline) {
+    for (const auto& mix : kAllMixes) {
+        for (int threads : cfg.thread_counts) {
+            const RunStats stats = run_set_point<Set>(threads, cfg, keys, mix);
+            const PointKey pk{std::string(mix.name), threads};
+            if (is_baseline) g_baseline[pk] = stats.mean_ops_per_sec;
+            const double base = g_baseline.count(pk) ? g_baseline[pk] : 0.0;
+            print_row("list-1k(fig3/4)", name, mix.name.data(), threads, stats,
+                      base > 0 ? stats.mean_ops_per_sec / base : -1.0);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace orcgc
+
+int main() {
+    using namespace orcgc;
+    const BenchConfig cfg = BenchConfig::from_env();
+    const std::uint64_t keys = cfg.keys ? cfg.keys : 1000;
+    std::printf("# Michael-Harris lock-free list, %llu keys (paper Figs. 3-4)\n",
+                static_cast<unsigned long long>(keys));
+    std::printf("# norm = throughput relative to the no-reclamation baseline\n");
+    run_series<MichaelList<Key, ReclaimerNone>>("None", cfg, keys, /*is_baseline=*/true);
+    run_series<MichaelList<Key, HazardPointers>>("HP", cfg, keys, false);
+    run_series<MichaelList<Key, PassTheBuck>>("PTB", cfg, keys, false);
+    run_series<MichaelList<Key, EpochBasedReclaimer>>("EBR", cfg, keys, false);
+    run_series<MichaelList<Key, HazardEras>>("HE", cfg, keys, false);
+    run_series<MichaelList<Key, IntervalBasedReclaimer>>("IBR", cfg, keys, false);
+    run_series<MichaelList<Key, PassThePointer>>("PTP", cfg, keys, false);
+    run_series<MichaelListOrc<Key>>("OrcGC", cfg, keys, false);
+    return 0;
+}

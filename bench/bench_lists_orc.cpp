@@ -1,0 +1,45 @@
+// Reproduces Figures 5 and 6: four linked-list algorithms annotated with
+// OrcGC — the original Harris list, Michael's list, the Herlihy–Shavit list
+// with wait-free lookups, and (when built) the TBKP wait-free list — with
+// 10^3 keys across the paper's three operation mixes. Apart from Michael's
+// list, these are algorithms "on which manual memory reclamation could not
+// be applied" (§5); OrcGC makes them comparable on equal terms.
+#include <cstdint>
+#include <cstdio>
+
+#include "common/bench_harness.hpp"
+#include "common/workload.hpp"
+#include "ds/orc/harris_list_orc.hpp"
+#include "ds/orc/hs_list_orc.hpp"
+#include "ds/orc/michael_list_orc.hpp"
+#include "set_bench_common.hpp"
+
+namespace orcgc {
+namespace {
+
+using Key = std::uint64_t;
+
+template <typename Set>
+void run_series(const char* name, const BenchConfig& cfg, std::uint64_t keys) {
+    for (const auto& mix : kAllMixes) {
+        for (int threads : cfg.thread_counts) {
+            const RunStats stats = run_set_point<Set>(threads, cfg, keys, mix);
+            print_row("lists-orc(fig5/6)", name, mix.name.data(), threads, stats);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace orcgc
+
+int main() {
+    using namespace orcgc;
+    const BenchConfig cfg = BenchConfig::from_env();
+    const std::uint64_t keys = cfg.keys ? cfg.keys : 1000;
+    std::printf("# Lock-free linked lists with OrcGC, %llu keys (paper Figs. 5-6)\n",
+                static_cast<unsigned long long>(keys));
+    run_series<HarrisListOrc<Key>>("Harris", cfg, keys);
+    run_series<MichaelListOrc<Key>>("Michael", cfg, keys);
+    run_series<HSListOrc<Key>>("HS", cfg, keys);
+    return 0;
+}

@@ -1,0 +1,131 @@
+// Empirical counterpart of Table 1's "bound on memory usage" column: run the
+// Michael–Harris list under a write-heavy mix and record the *peak* number of
+// retired-but-unreclaimed objects each scheme accumulates, next to its
+// theoretical bound. PTP's peak should stay around t*(H+1) — linear in
+// threads — while HP/PTB grow with their scan thresholds (the quadratic
+// family) and EBR is limited only by how fast epochs turn.
+//
+// For OrcGC (which has no retired lists at all) we report the peak number of
+// nodes alive beyond the key-range capacity of the set — i.e. unlinked nodes
+// not yet handed back to the allocator.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_tracker.hpp"
+#include "common/barrier.hpp"
+#include "common/bench_harness.hpp"
+#include "common/rng.hpp"
+#include "ds/michael_list.hpp"
+#include "ds/orc/michael_list_orc.hpp"
+#include "reclamation/reclamation.hpp"
+
+namespace orcgc {
+namespace {
+
+using Key = std::uint64_t;
+constexpr std::uint64_t kKeys = 128;
+constexpr int kListHPs = 3;  // H for the Michael list
+
+/// Runs 50i/50r churn on `set` with `threads` workers for `run_ms` while a
+/// monitor thread records the peak of `sample()`.
+template <typename Set>
+std::size_t churn_peak(Set& set, int threads, int run_ms,
+                       const std::function<std::size_t()>& sample) {
+    Xoshiro256 prefill(1);
+    for (Key k = 0; k < kKeys; ++k) {
+        if (prefill.next_bounded(2) == 0) set.insert(k);
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> peak{0};
+    SpinBarrier barrier(threads + 2);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            Xoshiro256 rng(77 + t);
+            barrier.arrive_and_wait();
+            while (!stop.load(std::memory_order_acquire)) {
+                const Key k = rng.next_bounded(kKeys);
+                if (rng.next_bounded(2) == 0) {
+                    set.insert(k);
+                } else {
+                    set.remove(k);
+                }
+            }
+        });
+    }
+    std::thread monitor([&] {
+        barrier.arrive_and_wait();
+        while (!stop.load(std::memory_order_acquire)) {
+            const std::size_t count = sample();
+            std::size_t prev = peak.load();
+            while (prev < count && !peak.compare_exchange_weak(prev, count)) {
+            }
+            std::this_thread::yield();
+        }
+    });
+    barrier.arrive_and_wait();
+    std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    monitor.join();
+    return peak.load();
+}
+
+template <template <class, int> class ReclaimerTmpl>
+void run_manual(const char* name, const char* bound, const BenchConfig& cfg) {
+    using Set = MichaelList<Key, ReclaimerTmpl>;
+    for (int threads : cfg.thread_counts) {
+        std::size_t peak;
+        {
+            Set set;
+            peak = churn_peak(set, threads, cfg.run_ms,
+                              [&set] { return set.reclaimer().unreclaimed_count(); });
+        }
+        std::printf("memory-bound(tab1)     %-6s t=%-3d H=%d  peak_unreclaimed=%-8zu bound=%s\n",
+                    name, threads, kListHPs, peak, bound);
+        std::fflush(stdout);
+    }
+}
+
+void run_orc(const BenchConfig& cfg) {
+    auto& counters = AllocCounters::instance();
+    for (int threads : cfg.thread_counts) {
+        const auto live_before = counters.live_count();
+        std::size_t peak;
+        {
+            MichaelListOrc<Key> set;
+            peak = churn_peak(set, threads, cfg.run_ms, [&counters, live_before] {
+                const auto live = counters.live_count() - live_before;
+                return live > static_cast<std::int64_t>(kKeys)
+                           ? static_cast<std::size_t>(live - kKeys)
+                           : std::size_t{0};
+            });
+        }
+        std::printf(
+            "memory-bound(tab1)     %-6s t=%-3d H=*  peak_unreclaimed=%-8zu bound=O(Ht)\n",
+            "OrcGC", threads, peak);
+        std::fflush(stdout);
+    }
+}
+
+}  // namespace
+}  // namespace orcgc
+
+int main() {
+    using namespace orcgc;
+    const BenchConfig cfg = BenchConfig::from_env();
+    std::printf("# Peak unreclaimed objects under 50i/50r churn, %llu keys (Table 1 bounds)\n",
+                static_cast<unsigned long long>(kKeys));
+    run_manual<HazardPointers>("HP", "O(Ht^2)", cfg);
+    run_manual<PassTheBuck>("PTB", "O(Ht^2)", cfg);
+    run_manual<EpochBasedReclaimer>("EBR", "unbounded", cfg);
+    run_manual<HazardEras>("HE", "O(#L*Ht^2)", cfg);
+    run_manual<IntervalBasedReclaimer>("IBR", "O(#L*Ht^2)", cfg);
+    run_manual<PassThePointer>("PTP", "O(Ht)", cfg);
+    run_orc(cfg);
+    return 0;
+}

@@ -1,0 +1,141 @@
+// Ablation: the per-operation cost of OrcGC's automation, measured in
+// isolation. The paper attributes OrcGC's single-thread slowdown to "the
+// extra code execution that automatically protects an object and retires an
+// object that is no longer accessible" (§5); these microbenchmarks separate
+// that cost per primitive: protected load (hp publish + validate) vs plain
+// atomic load, counter-updating store/CAS vs plain, and allocation through
+// make_orc vs new/delete.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/orc.hpp"
+
+namespace orcgc {
+namespace {
+
+struct PlainNode {
+    std::uint64_t v = 0;
+    std::atomic<PlainNode*> next{nullptr};
+};
+
+struct OrcNode : orc_base {
+    std::uint64_t v = 0;
+    orc_atomic<OrcNode*> next{nullptr};
+};
+
+// ---- load --------------------------------------------------------------
+
+void BM_StdAtomicLoad(benchmark::State& state) {
+    static PlainNode node;
+    static std::atomic<PlainNode*> link{&node};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(link.load(std::memory_order_acquire));
+    }
+}
+BENCHMARK(BM_StdAtomicLoad);
+
+void BM_OrcAtomicLoad(benchmark::State& state) {
+    static orc_atomic<OrcNode*> link;
+    {
+        orc_ptr<OrcNode*> n = make_orc<OrcNode>();
+        link.store(n);
+    }
+    for (auto _ : state) {
+        orc_ptr<OrcNode*> p = link.load();  // publish + validate + idx bookkeeping
+        benchmark::DoNotOptimize(p.get());
+    }
+    link.store(nullptr);
+}
+BENCHMARK(BM_OrcAtomicLoad);
+
+// ---- store -------------------------------------------------------------
+
+void BM_StdAtomicStore(benchmark::State& state) {
+    static PlainNode a, b;
+    static std::atomic<PlainNode*> link{&a};
+    bool flip = false;
+    for (auto _ : state) {
+        link.store(flip ? &a : &b, std::memory_order_seq_cst);
+        flip = !flip;
+    }
+}
+BENCHMARK(BM_StdAtomicStore);
+
+void BM_OrcAtomicStore(benchmark::State& state) {
+    static orc_atomic<OrcNode*> link;
+    orc_ptr<OrcNode*> a = make_orc<OrcNode>();
+    orc_ptr<OrcNode*> b = make_orc<OrcNode>();
+    bool flip = false;
+    for (auto _ : state) {
+        link.store(flip ? a : b);  // two counter RMWs + scratch publish
+        flip = !flip;
+    }
+    link.store(nullptr);
+}
+BENCHMARK(BM_OrcAtomicStore);
+
+// ---- cas ---------------------------------------------------------------
+
+void BM_StdAtomicCas(benchmark::State& state) {
+    static PlainNode a, b;
+    static std::atomic<PlainNode*> link{&a};
+    PlainNode* cur = &a;
+    PlainNode* other = &b;
+    for (auto _ : state) {
+        PlainNode* expected = cur;
+        benchmark::DoNotOptimize(link.compare_exchange_strong(expected, other));
+        std::swap(cur, other);
+    }
+}
+BENCHMARK(BM_StdAtomicCas);
+
+void BM_OrcAtomicCas(benchmark::State& state) {
+    static orc_atomic<OrcNode*> link;
+    orc_ptr<OrcNode*> a = make_orc<OrcNode>();
+    orc_ptr<OrcNode*> b = make_orc<OrcNode>();
+    link.store(a);
+    OrcNode* cur = a.get();
+    OrcNode* other = b.get();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(link.cas(cur, other));
+        std::swap(cur, other);
+    }
+    link.store(nullptr);
+}
+BENCHMARK(BM_OrcAtomicCas);
+
+// ---- allocate + reclaim ------------------------------------------------
+
+void BM_NewDelete(benchmark::State& state) {
+    for (auto _ : state) {
+        auto* node = new OrcNode();
+        benchmark::DoNotOptimize(node);
+        delete node;
+    }
+}
+BENCHMARK(BM_NewDelete);
+
+void BM_MakeOrcDropped(benchmark::State& state) {
+    for (auto _ : state) {
+        orc_ptr<OrcNode*> node = make_orc<OrcNode>();  // retired+freed at scope exit
+        benchmark::DoNotOptimize(node.get());
+    }
+}
+BENCHMARK(BM_MakeOrcDropped);
+
+// ---- orc_ptr copy vs raw copy -------------------------------------------
+
+void BM_OrcPtrCopy(benchmark::State& state) {
+    orc_ptr<OrcNode*> node = make_orc<OrcNode>();
+    for (auto _ : state) {
+        orc_ptr<OrcNode*> copy = node;  // used_haz refcount only
+        benchmark::DoNotOptimize(copy.get());
+    }
+}
+BENCHMARK(BM_OrcPtrCopy);
+
+}  // namespace
+}  // namespace orcgc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Reproduces Figures 1 and 2: lock-free and wait-free queues running
+// enqueue/dequeue pairs. The paper plots throughput normalized per
+// algorithm family; we print absolute ops/s plus normalization against the
+// MS-queue/no-reclamation baseline at the same thread count.
+//
+// Series: Michael–Scott under manual schemes (None/HP/HE/PTP), MS with
+// OrcGC (the paper's Algorithm 1), the Kogan–Petrank wait-free queue
+// (OrcGC-only — obstacle 1), and LCRQ/TurnQueue when built.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/bench_harness.hpp"
+#include "ds/ms_queue.hpp"
+#include "ds/orc/kp_queue_orc.hpp"
+#include "ds/orc/lcrq_orc.hpp"
+#include "ds/orc/ms_queue_orc.hpp"
+#include "reclamation/reclamation.hpp"
+
+namespace orcgc {
+namespace {
+
+using Value = std::uint64_t;
+
+std::map<int, double> g_baseline;  // threads -> MS-None ops/s
+
+template <typename Queue>
+RunStats run_queue_point(int threads, const BenchConfig& cfg) {
+    std::vector<double> samples;
+    for (int r = 0; r < cfg.runs; ++r) {
+        Queue queue;
+        for (Value i = 0; i < 256; ++i) queue.enqueue(i);  // warm prefill
+        std::atomic<bool> stop{false};
+        std::atomic<std::uint64_t> total_ops{0};
+        SpinBarrier barrier(threads + 1);
+        std::vector<std::thread> workers;
+        for (int t = 0; t < threads; ++t) {
+            workers.emplace_back([&, t] {
+                std::uint64_t ops = 0;
+                Value v = t;
+                barrier.arrive_and_wait();
+                while (!stop.load(std::memory_order_acquire)) {
+                    queue.enqueue(v++);
+                    queue.dequeue();
+                    ops += 2;  // a pair, as in the paper's 10^7-pairs runs
+                }
+                total_ops.fetch_add(ops, std::memory_order_relaxed);
+            });
+        }
+        barrier.arrive_and_wait();
+        const auto t0 = std::chrono::steady_clock::now();
+        std::this_thread::sleep_for(std::chrono::milliseconds(cfg.run_ms));
+        stop.store(true, std::memory_order_release);
+        for (auto& w : workers) w.join();
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        samples.push_back(static_cast<double>(total_ops.load()) / secs);
+    }
+    RunStats stats;
+    for (double s : samples) stats.mean_ops_per_sec += s;
+    stats.mean_ops_per_sec /= samples.size();
+    for (double s : samples) {
+        const double d = s - stats.mean_ops_per_sec;
+        stats.stddev += d * d;
+    }
+    stats.stddev = std::sqrt(stats.stddev / samples.size());
+    return stats;
+}
+
+template <typename Queue>
+void run_series(const char* name, const BenchConfig& cfg, bool is_baseline) {
+    for (int threads : cfg.thread_counts) {
+        const RunStats stats = run_queue_point<Queue>(threads, cfg);
+        if (is_baseline) g_baseline[threads] = stats.mean_ops_per_sec;
+        const double base = g_baseline.count(threads) ? g_baseline[threads] : 0.0;
+        print_row("queues(fig1/2)", name, "enq-deq", threads, stats,
+                  base > 0 ? stats.mean_ops_per_sec / base : -1.0);
+    }
+}
+
+}  // namespace
+}  // namespace orcgc
+
+int main() {
+    using namespace orcgc;
+    const BenchConfig cfg = BenchConfig::from_env();
+    std::printf("# Queues, enqueue/dequeue pairs (paper Figs. 1-2)\n");
+    std::printf("# norm = throughput relative to MS-queue without reclamation\n");
+    run_series<MSQueue<Value, ReclaimerNone>>("MS-None", cfg, /*is_baseline=*/true);
+    run_series<MSQueue<Value, HazardPointers>>("MS-HP", cfg, false);
+    run_series<MSQueue<Value, HazardEras>>("MS-HE", cfg, false);
+    run_series<MSQueue<Value, PassThePointer>>("MS-PTP", cfg, false);
+    run_series<MSQueueOrc<Value>>("MS-OrcGC", cfg, false);
+    run_series<LCRQOrc<Value>>("LCRQ-OrcGC", cfg, false);
+    run_series<KPQueueOrc<Value>>("KP-OrcGC", cfg, false);
+    return 0;
+}

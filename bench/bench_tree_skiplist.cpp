@@ -1,0 +1,51 @@
+// Reproduces Figures 7 and 8: the Natarajan–Mittal lock-free tree under the
+// reclamation schemes its traversal admits (None and EBR — see nm_tree.hpp
+// on why the other manual schemes are excluded) plus OrcGC,
+// together with the two OrcGC skip lists (the ported Herlihy–Shavit skip
+// list and the paper's CRF-skip).
+//
+// The paper runs 10^6 keys; the container default is 10^5 for time budget —
+// override with ORC_BENCH_KEYS=1000000 to match the paper exactly.
+#include <cstdint>
+#include <cstdio>
+
+#include "common/bench_harness.hpp"
+#include "common/workload.hpp"
+#include "ds/nm_tree.hpp"
+#include "ds/orc/crf_skiplist_orc.hpp"
+#include "ds/orc/hs_skiplist_orc.hpp"
+#include "ds/orc/nm_tree_orc.hpp"
+#include "reclamation/reclamation.hpp"
+#include "set_bench_common.hpp"
+
+namespace orcgc {
+namespace {
+
+using Key = std::uint64_t;
+
+template <typename Set>
+void run_series(const char* name, const BenchConfig& cfg, std::uint64_t keys) {
+    for (const auto& mix : kAllMixes) {
+        for (int threads : cfg.thread_counts) {
+            const RunStats stats = run_set_point<Set>(threads, cfg, keys, mix);
+            print_row("tree-skip(fig7/8)", name, mix.name.data(), threads, stats);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace orcgc
+
+int main() {
+    using namespace orcgc;
+    const BenchConfig cfg = BenchConfig::from_env();
+    const std::uint64_t keys = cfg.keys ? cfg.keys : 100000;
+    std::printf("# NM tree + skip lists, %llu keys (paper Figs. 7-8; paper uses 10^6)\n",
+                static_cast<unsigned long long>(keys));
+    run_series<NMTree<Key, ReclaimerNone>>("NM-None", cfg, keys);
+    run_series<NMTree<Key, EpochBasedReclaimer>>("NM-EBR", cfg, keys);
+    run_series<NMTreeOrc<Key>>("NM-OrcGC", cfg, keys);
+    run_series<HSSkipListOrc<Key>>("HS-skip-OrcGC", cfg, keys);
+    run_series<CRFSkipListOrc<Key>>("CRF-skip-OrcGC", cfg, keys);
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Shared driver for the ordered-set benchmarks (Figs. 3–8): prefill a set
+// to ~50% occupancy of the key range, then run the paper's operation mixes
+// for a timed window on t threads and report ops/s.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+#include "common/bench_harness.hpp"
+#include "common/rng.hpp"
+#include "common/workload.hpp"
+
+namespace orcgc {
+
+/// One (structure, mix, thread-count) measurement. Constructs a fresh
+/// structure per repetition via `factory` (returning a unique_ptr-like or
+/// value-semantic handle is overkill for benchmarks: factory returns a new
+/// heap instance, owned here).
+template <typename Set>
+RunStats run_set_point(int threads, const BenchConfig& cfg, std::uint64_t key_range,
+                       const OpMix& mix) {
+    std::vector<double> samples;
+    samples.reserve(cfg.runs);
+    // Prefill keys in shuffled order: ordered insertion would degenerate the
+    // external BST into a spine (the list/skip-list shapes don't care).
+    std::vector<std::uint64_t> prefill_keys;
+    {
+        Xoshiro256 prefill_rng(42);
+        prefill_keys.reserve(key_range / 2 + 1);
+        for (std::uint64_t k = 0; k < key_range; ++k) {
+            if (prefill_rng.next_bounded(2) == 0) prefill_keys.push_back(k);
+        }
+        for (std::uint64_t i = prefill_keys.size(); i > 1; --i) {
+            std::swap(prefill_keys[i - 1], prefill_keys[prefill_rng.next_bounded(i)]);
+        }
+    }
+    for (int r = 0; r < cfg.runs; ++r) {
+        Set set;
+        for (std::uint64_t k : prefill_keys) set.insert(k);
+        std::atomic<bool> stop{false};
+        std::atomic<std::uint64_t> total_ops{0};
+        SpinBarrier barrier(threads + 1);
+        std::vector<std::thread> workers;
+        workers.reserve(threads);
+        for (int t = 0; t < threads; ++t) {
+            workers.emplace_back([&, t] {
+                Xoshiro256 rng(0x9000 + 31 * t + r);
+                std::uint64_t ops = 0;
+                barrier.arrive_and_wait();
+                while (!stop.load(std::memory_order_acquire)) {
+                    const std::uint64_t key = next_key(rng, key_range);
+                    switch (next_op(rng, mix)) {
+                        case SetOp::kInsert: set.insert(key); break;
+                        case SetOp::kRemove: set.remove(key); break;
+                        case SetOp::kContains: set.contains(key); break;
+                    }
+                    ++ops;
+                }
+                total_ops.fetch_add(ops, std::memory_order_relaxed);
+            });
+        }
+        barrier.arrive_and_wait();
+        const auto t0 = std::chrono::steady_clock::now();
+        std::this_thread::sleep_for(std::chrono::milliseconds(cfg.run_ms));
+        stop.store(true, std::memory_order_release);
+        for (auto& w : workers) w.join();
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        samples.push_back(static_cast<double>(total_ops.load()) / secs);
+    }
+    RunStats stats;
+    for (double s : samples) stats.mean_ops_per_sec += s;
+    stats.mean_ops_per_sec /= samples.size();
+    for (double s : samples) {
+        const double d = s - stats.mean_ops_per_sec;
+        stats.stddev += d * d;
+    }
+    stats.stddev = std::sqrt(stats.stddev / samples.size());
+    return stats;
+}
+
+}  // namespace orcgc

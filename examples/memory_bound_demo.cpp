@@ -1,0 +1,88 @@
+// Scenario: why the reclamation *bound* matters, not just throughput.
+//
+// A monitoring agent with a strict memory budget keeps a hot working set in
+// a lock-free list while one reader thread occasionally stalls (GC pause,
+// page fault, cgroup throttle — here simulated with a sleep inside the
+// read-side critical section). This demo churns the list under that stall
+// and prints the retired-but-unreclaimed backlog for:
+//   * EBR — blocking: the stalled reader pins every epoch, backlog grows
+//           without bound (Table 1's ∞ row);
+//   * PTP — lock-free with the paper's O(H·t) bound: backlog stays tiny no
+//           matter how long the stall lasts.
+//
+// Build & run:  ./examples/memory_bound_demo
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ds/michael_list.hpp"
+#include "reclamation/epoch_based.hpp"
+#include "reclamation/pass_the_pointer.hpp"
+
+namespace {
+
+template <typename Set>
+std::size_t churn_with_stalled_reader(const char* name) {
+    Set set;
+    for (std::uint64_t k = 0; k < 64; ++k) set.insert(k);
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> reader_in{false};
+
+    // The stalling reader: enters a read-side operation and parks there.
+    std::thread reader([&] {
+        set.reclaimer().begin_op();
+        reader_in.store(true);
+        while (!stop.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        set.reclaimer().end_op();
+    });
+    while (!reader_in.load()) std::this_thread::yield();
+
+    // Two writers churn the hot set while the reader is parked.
+    std::vector<std::thread> writers;
+    std::atomic<std::size_t> peak{0};
+    for (int t = 0; t < 2; ++t) {
+        writers.emplace_back([&, t] {
+            orcgc::Xoshiro256 rng(17 + t);
+            for (int i = 0; i < 30000; ++i) {
+                const std::uint64_t k = rng.next_bounded(64);
+                if (rng.next_bounded(2) == 0) {
+                    set.insert(k);
+                } else {
+                    set.remove(k);
+                }
+                const std::size_t backlog = set.reclaimer().unreclaimed_count();
+                std::size_t prev = peak.load();
+                while (prev < backlog && !peak.compare_exchange_weak(prev, backlog)) {
+                }
+            }
+        });
+    }
+    for (auto& w : writers) w.join();
+    stop.store(true);
+    reader.join();
+
+    std::printf("  %-4s peak retired-but-unreclaimed backlog during the stall: %zu objects\n",
+                name, peak.load());
+    return peak.load();
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Churning a 64-key lock-free list while one reader is stalled mid-operation:\n");
+    const std::size_t ebr_peak =
+        churn_with_stalled_reader<orcgc::MichaelList<std::uint64_t, orcgc::EpochBasedReclaimer>>(
+            "EBR");
+    const std::size_t ptp_peak =
+        churn_with_stalled_reader<orcgc::MichaelList<std::uint64_t, orcgc::PassThePointer>>(
+            "PTP");
+    std::printf("\nEBR's backlog scales with the churn performed during the stall;\n"
+                "PTP's stays within its t*(H+1) bound (the paper's Table 1 contrast).\n");
+    std::printf("%s\n", ptp_peak * 10 < ebr_peak ? "OK: PTP bound held under a stalled reader"
+                                                 : "UNEXPECTED: bounds did not separate");
+    return ptp_peak * 10 < ebr_peak ? 0 : 1;
+}

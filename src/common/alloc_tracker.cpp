@@ -1,0 +1,10 @@
+#include "common/alloc_tracker.hpp"
+
+namespace orcgc {
+
+AllocCounters& AllocCounters::instance() {
+    static AllocCounters counters;
+    return counters;
+}
+
+}  // namespace orcgc

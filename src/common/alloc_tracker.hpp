@@ -1,0 +1,96 @@
+// Allocation tracking substrate for reclamation-soundness tests.
+//
+// The paper's claims are about *memory*: every scheme must eventually free
+// every retired node, never free a node twice, and never let a thread touch
+// a freed node. The test suite proves these properties empirically by
+// deriving tracked node types from TrackedObject:
+//
+//   * live_count()  — constructions minus destructions; must return to its
+//                     baseline when a structure is destroyed (no leaks).
+//   * a double-destroy check via a canary word that the destructor flips;
+//     destroying twice (double free) or reading after destruction
+//     (use-after-free) trips the canary.
+//
+// Counters are global and relaxed-atomic: they are never used to synchronize,
+// only tallied after threads join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace orcgc {
+
+class AllocCounters {
+  public:
+    static AllocCounters& instance();
+
+    void on_construct() noexcept {
+        constructed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void on_destroy() noexcept { destroyed_.fetch_add(1, std::memory_order_relaxed); }
+    void on_double_destroy() noexcept {
+        double_destroys_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void on_dead_access() noexcept { dead_accesses_.fetch_add(1, std::memory_order_relaxed); }
+
+    std::int64_t live_count() const noexcept {
+        return constructed_.load(std::memory_order_relaxed) -
+               destroyed_.load(std::memory_order_relaxed);
+    }
+    std::int64_t constructed() const noexcept {
+        return constructed_.load(std::memory_order_relaxed);
+    }
+    std::int64_t destroyed() const noexcept { return destroyed_.load(std::memory_order_relaxed); }
+    std::int64_t double_destroys() const noexcept {
+        return double_destroys_.load(std::memory_order_relaxed);
+    }
+    std::int64_t dead_accesses() const noexcept {
+        return dead_accesses_.load(std::memory_order_relaxed);
+    }
+
+    void reset() noexcept {
+        constructed_.store(0, std::memory_order_relaxed);
+        destroyed_.store(0, std::memory_order_relaxed);
+        double_destroys_.store(0, std::memory_order_relaxed);
+        dead_accesses_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> constructed_{0};
+    std::atomic<std::int64_t> destroyed_{0};
+    std::atomic<std::int64_t> double_destroys_{0};
+    std::atomic<std::int64_t> dead_accesses_{0};
+};
+
+/// Mixin base for node types in soundness tests.
+class TrackedObject {
+  public:
+    TrackedObject() noexcept : canary_(kAlive) { AllocCounters::instance().on_construct(); }
+
+    TrackedObject(const TrackedObject&) = delete;
+    TrackedObject& operator=(const TrackedObject&) = delete;
+
+    ~TrackedObject() noexcept {
+        if (canary_.exchange(kDead, std::memory_order_acq_rel) != kAlive) {
+            AllocCounters::instance().on_double_destroy();
+        } else {
+            AllocCounters::instance().on_destroy();
+        }
+    }
+
+    /// Tests call this when dereferencing a node obtained through a
+    /// reclamation-protected read: a dead canary means the scheme let a
+    /// freed node escape.
+    bool check_alive() const noexcept {
+        if (canary_.load(std::memory_order_acquire) == kAlive) return true;
+        AllocCounters::instance().on_dead_access();
+        return false;
+    }
+
+  private:
+    static constexpr std::uint64_t kAlive = 0xA11CEA11CEA11CEAULL;
+    static constexpr std::uint64_t kDead = 0xDEADDEADDEADDEADULL;
+    std::atomic<std::uint64_t> canary_;
+};
+
+}  // namespace orcgc

@@ -1,0 +1,39 @@
+// Sense-reversing spin barrier.
+//
+// Benchmark drivers need all worker threads to cross the start line at the
+// same instant; std::barrier's futex round-trips distort sub-second
+// measurements, so we spin (with a yield to stay fair on oversubscribed
+// machines — the test container has fewer cores than benchmark threads).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace orcgc {
+
+class SpinBarrier {
+  public:
+    explicit SpinBarrier(int parties) noexcept : parties_(parties) {}
+
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    void arrive_and_wait() noexcept {
+        const bool my_sense = !sense_.load(std::memory_order_relaxed);
+        if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+            count_.store(0, std::memory_order_relaxed);
+            sense_.store(my_sense, std::memory_order_release);
+        } else {
+            while (sense_.load(std::memory_order_acquire) != my_sense) {
+                std::this_thread::yield();
+            }
+        }
+    }
+
+  private:
+    const int parties_;
+    std::atomic<int> count_{0};
+    std::atomic<bool> sense_{false};
+};
+
+}  // namespace orcgc

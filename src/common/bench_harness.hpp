@@ -1,0 +1,114 @@
+// Timed-run benchmark driver used by all figure-reproduction binaries.
+//
+// Mirrors the paper's harness: for each (structure, mix, thread-count) point,
+// spawn t threads behind a barrier, run for a fixed wall-clock window, count
+// completed operations per thread, and report the mean and stddev of ops/s
+// over `runs` repetitions. The paper used 20 s x 5 runs; defaults here are
+// container-sized and overridable via environment variables:
+//   ORC_BENCH_MS      per-run window in milliseconds   (default 150)
+//   ORC_BENCH_RUNS    repetitions per point            (default 3)
+//   ORC_BENCH_THREADS comma list of thread counts      (default "1,2,4")
+//   ORC_BENCH_KEYS    key-range override for set benches
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.hpp"
+
+namespace orcgc {
+
+struct BenchConfig {
+    int run_ms = 150;
+    int runs = 3;
+    std::vector<int> thread_counts{1, 2, 4};
+    std::uint64_t keys = 0;  // 0 = bench-specific default
+
+    static BenchConfig from_env() {
+        BenchConfig cfg;
+        if (const char* ms = std::getenv("ORC_BENCH_MS")) cfg.run_ms = std::atoi(ms);
+        if (const char* rs = std::getenv("ORC_BENCH_RUNS")) cfg.runs = std::atoi(rs);
+        if (const char* ks = std::getenv("ORC_BENCH_KEYS")) cfg.keys = std::strtoull(ks, nullptr, 10);
+        if (const char* ts = std::getenv("ORC_BENCH_THREADS")) {
+            cfg.thread_counts.clear();
+            std::string spec(ts);
+            std::size_t pos = 0;
+            while (pos < spec.size()) {
+                std::size_t comma = spec.find(',', pos);
+                if (comma == std::string::npos) comma = spec.size();
+                cfg.thread_counts.push_back(std::atoi(spec.substr(pos, comma - pos).c_str()));
+                pos = comma + 1;
+            }
+        }
+        return cfg;
+    }
+};
+
+struct RunStats {
+    double mean_ops_per_sec = 0;
+    double stddev = 0;
+};
+
+/// Runs `body(tid_index, stop_flag)` on `threads` threads for `run_ms`,
+/// `runs` times. `body` returns the number of operations it completed.
+/// `setup` (optional) runs single-threaded before each repetition.
+inline RunStats timed_run(int threads, int run_ms, int runs,
+                          const std::function<std::uint64_t(int, const std::atomic<bool>&)>& body,
+                          const std::function<void()>& setup = {}) {
+    std::vector<double> samples;
+    samples.reserve(runs);
+    for (int r = 0; r < runs; ++r) {
+        if (setup) setup();
+        std::atomic<bool> stop{false};
+        std::atomic<std::uint64_t> total_ops{0};
+        SpinBarrier barrier(threads + 1);
+        std::vector<std::thread> workers;
+        workers.reserve(threads);
+        for (int i = 0; i < threads; ++i) {
+            workers.emplace_back([&, i] {
+                barrier.arrive_and_wait();
+                total_ops.fetch_add(body(i, stop), std::memory_order_relaxed);
+            });
+        }
+        barrier.arrive_and_wait();
+        const auto t0 = std::chrono::steady_clock::now();
+        std::this_thread::sleep_for(std::chrono::milliseconds(run_ms));
+        stop.store(true, std::memory_order_release);
+        for (auto& w : workers) w.join();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs = std::chrono::duration<double>(t1 - t0).count();
+        samples.push_back(static_cast<double>(total_ops.load()) / secs);
+    }
+    RunStats stats;
+    for (double s : samples) stats.mean_ops_per_sec += s;
+    stats.mean_ops_per_sec /= samples.size();
+    for (double s : samples) {
+        const double d = s - stats.mean_ops_per_sec;
+        stats.stddev += d * d;
+    }
+    stats.stddev = std::sqrt(stats.stddev / samples.size());
+    return stats;
+}
+
+/// Prints one paper-style result row: series name, thread count, ops/s.
+inline void print_row(const char* bench, const char* series, const char* mix, int threads,
+                      const RunStats& stats, double normalized = -1.0) {
+    if (normalized >= 0) {
+        std::printf("%-22s %-16s %-10s t=%-3d %12.0f ops/s  (sd %8.0f)  norm=%.2f\n", bench,
+                    series, mix, threads, stats.mean_ops_per_sec, stats.stddev, normalized);
+    } else {
+        std::printf("%-22s %-16s %-10s t=%-3d %12.0f ops/s  (sd %8.0f)\n", bench, series, mix,
+                    threads, stats.mean_ops_per_sec, stats.stddev);
+    }
+    std::fflush(stdout);
+}
+
+}  // namespace orcgc

@@ -1,0 +1,38 @@
+// Cache-line utilities.
+//
+// The reclamation schemes in this library keep per-thread arrays of
+// hazardous pointers and handover slots. The paper (§3.1) places hazardous
+// pointers and handovers on *separate* arrays "so as to reduce contention
+// and avoid false-sharing"; we additionally pad every per-thread block to a
+// cache-line multiple so that thread i's publications never invalidate the
+// line thread j spins on.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace orcgc {
+
+// std::hardware_destructive_interference_size is 64 on the x86-64 targets we
+// support, but prefetchers pull adjacent line pairs, so 128 is the safe
+// padding granularity (what folly/abseil use as well).
+inline constexpr std::size_t kCacheLineSize = 128;
+
+/// Wraps a T so that it occupies (and is aligned to) a full cache line.
+/// Used for per-thread metadata blocks indexed by thread id.
+template <typename T>
+struct alignas(kCacheLineSize) CachelinePadded {
+    T value;
+
+    template <typename... Args>
+    explicit CachelinePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+    CachelinePadded() = default;
+
+    T* operator->() noexcept { return &value; }
+    const T* operator->() const noexcept { return &value; }
+    T& operator*() noexcept { return value; }
+    const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace orcgc

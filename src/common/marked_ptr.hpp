@@ -1,0 +1,52 @@
+// Bit-stealing ("marked pointer") helpers.
+//
+// Harris-style lists, the Herlihy–Shavit skip list and the Natarajan–Mittal
+// tree steal the low bit(s) of aligned node pointers to encode logical
+// deletion / flagging. These helpers centralize the casts so data-structure
+// code never open-codes reinterpret_cast arithmetic.
+//
+// Objects allocated with new are at least 8-byte aligned, so bits 0..1 are
+// always available.
+#pragma once
+
+#include <cstdint>
+
+namespace orcgc {
+
+inline constexpr std::uintptr_t kMarkBit = 0x1;
+inline constexpr std::uintptr_t kFlagBit = 0x2;  // second stolen bit (NM tree)
+inline constexpr std::uintptr_t kPtrMask = ~std::uintptr_t{0x3};
+
+template <typename T>
+inline T* get_unmarked(T* p) noexcept {
+    return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) & kPtrMask);
+}
+
+template <typename T>
+inline T* get_marked(T* p) noexcept {
+    return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) | kMarkBit);
+}
+
+template <typename T>
+inline bool is_marked(T* p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & kMarkBit) != 0;
+}
+
+template <typename T>
+inline T* get_flagged(T* p) noexcept {
+    return reinterpret_cast<T*>(reinterpret_cast<std::uintptr_t>(p) | kFlagBit);
+}
+
+template <typename T>
+inline bool is_flagged(T* p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & kFlagBit) != 0;
+}
+
+/// Reapplies the mark/flag bits of `bits` onto pointer `p`.
+template <typename T>
+inline T* with_bits_of(T* p, T* bits) noexcept {
+    return reinterpret_cast<T*>((reinterpret_cast<std::uintptr_t>(p) & kPtrMask) |
+                                (reinterpret_cast<std::uintptr_t>(bits) & ~kPtrMask));
+}
+
+}  // namespace orcgc

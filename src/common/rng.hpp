@@ -1,0 +1,54 @@
+// Deterministic per-thread PRNG for workload generation.
+//
+// Benchmarks and stress tests need a fast, statistically decent generator
+// that (a) never shares state between threads and (b) is reproducible given
+// a seed. xoshiro256** (Blackman & Vigna) fits: 4x64-bit state, ~1ns/word.
+#pragma once
+
+#include <cstdint>
+
+namespace orcgc {
+
+class Xoshiro256 {
+  public:
+    /// SplitMix64-seeded so that consecutive seeds give uncorrelated streams.
+    explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+        for (auto& word : state_) {
+            seed += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t next_bounded(std::uint64_t bound) noexcept {
+        // 128-bit multiply trick (Lemire); bias is negligible for bench use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() noexcept { return (next() >> 11) * 0x1.0p-53; }
+
+  private:
+    static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t state_[4];
+};
+
+}  // namespace orcgc

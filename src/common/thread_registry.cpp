@@ -1,0 +1,79 @@
+#include "common/thread_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace orcgc {
+namespace detail {
+
+ThreadRegistry& ThreadRegistry::instance() {
+    // Function-local static: constructed before any thread registers, and
+    // therefore destroyed after every thread_local ThreadSlot (thread storage
+    // duration objects are destroyed before static storage duration ones).
+    static ThreadRegistry registry;
+    return registry;
+}
+
+int ThreadRegistry::acquire() {
+    for (int tid = 0; tid < kMaxThreads; ++tid) {
+        bool expected = false;
+        if (!used_[tid].load(std::memory_order_relaxed) &&
+            used_[tid].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+            // Raise the watermark so scanners cover this slot.
+            int wm = watermark_.load(std::memory_order_relaxed);
+            while (wm < tid + 1 &&
+                   !watermark_.compare_exchange_weak(wm, tid + 1, std::memory_order_acq_rel)) {
+            }
+            return tid;
+        }
+    }
+    std::fprintf(stderr, "orcgc: more than %d concurrent threads registered\n", kMaxThreads);
+    std::abort();
+}
+
+void ThreadRegistry::release(int tid) {
+    const int n = num_hooks_.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+        if (ExitHook hook = hooks_[i].load(std::memory_order_acquire)) hook(tid);
+    }
+    used_[tid].store(false, std::memory_order_release);
+}
+
+void ThreadRegistry::add_exit_hook(ExitHook hook) {
+    const int n = num_hooks_.load(std::memory_order_relaxed);
+    for (int i = 0; i < n; ++i) {
+        if (hooks_[i].load(std::memory_order_relaxed) == hook) return;  // idempotent
+    }
+    const int slot = num_hooks_.fetch_add(1, std::memory_order_acq_rel);
+    if (slot >= kMaxHooks) {
+        std::fprintf(stderr, "orcgc: too many thread-exit hooks\n");
+        std::abort();
+    }
+    hooks_[slot].store(hook, std::memory_order_release);
+}
+
+namespace {
+
+// RAII holder whose construction claims a tid and whose destruction (at
+// thread exit) releases it.
+struct ThreadSlot {
+    int tid;
+    ThreadSlot() : tid(ThreadRegistry::instance().acquire()) {}
+    ~ThreadSlot() { ThreadRegistry::instance().release(tid); }
+};
+
+}  // namespace
+}  // namespace detail
+
+int thread_id() {
+    static thread_local detail::ThreadSlot slot;
+    return slot.tid;
+}
+
+int thread_id_watermark() { return detail::ThreadRegistry::instance().watermark(); }
+
+void add_thread_exit_hook(detail::ThreadRegistry::ExitHook hook) {
+    detail::ThreadRegistry::instance().add_exit_hook(hook);
+}
+
+}  // namespace orcgc

@@ -1,0 +1,68 @@
+// Dense thread-id registry.
+//
+// Every reclamation scheme in this library (HP, PTB, HE, IBR, PTP, OrcGC)
+// keeps per-thread state in flat arrays indexed by a *dense* thread id in
+// [0, kMaxThreads). std::this_thread::get_id() is neither dense nor reusable,
+// so we maintain our own lock-free registry: a thread claims the lowest free
+// slot on first use (CAS over a bool array — lock-free, no allocation) and
+// releases it from a thread_local destructor when the thread exits, allowing
+// id reuse by later threads.
+//
+// Schemes that must clean per-thread state on exit (e.g. PTP handover slots)
+// register an exit hook which runs while the departing thread still owns its
+// id.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace orcgc {
+
+/// Compile-time upper bound on concurrently *registered* threads.
+/// All per-thread arrays in the reclamation schemes are sized with this.
+inline constexpr int kMaxThreads = 128;
+
+namespace detail {
+
+class ThreadRegistry {
+  public:
+    static ThreadRegistry& instance();
+
+    /// Claims the lowest free slot. Aborts if more than kMaxThreads threads
+    /// are simultaneously registered (a hard capacity error, not a race).
+    int acquire();
+
+    /// Returns a slot to the free pool. Runs all registered exit hooks first.
+    void release(int tid);
+
+    /// Registers a hook invoked (with the tid) whenever a thread exits.
+    /// Hooks must be registered before the first worker threads exit and are
+    /// never removed; intended for process-lifetime reclamation singletons.
+    using ExitHook = void (*)(int tid);
+    void add_exit_hook(ExitHook hook);
+
+    /// One past the highest tid ever handed out; scanners iterate [0, this).
+    int watermark() const noexcept { return watermark_.load(std::memory_order_acquire); }
+
+  private:
+    ThreadRegistry() = default;
+
+    std::atomic<bool> used_[kMaxThreads] = {};
+    std::atomic<int> watermark_{0};
+    static constexpr int kMaxHooks = 16;
+    std::atomic<ExitHook> hooks_[kMaxHooks] = {};
+    std::atomic<int> num_hooks_{0};
+};
+
+}  // namespace detail
+
+/// Dense id of the calling thread; registered lazily on first call.
+int thread_id();
+
+/// One past the highest thread id ever used; bound for per-thread scans.
+int thread_id_watermark();
+
+/// See detail::ThreadRegistry::add_exit_hook.
+void add_thread_exit_hook(detail::ThreadRegistry::ExitHook hook);
+
+}  // namespace orcgc

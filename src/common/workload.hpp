@@ -1,0 +1,47 @@
+// Workload definitions mirroring the paper's evaluation (§5).
+//
+// All set benchmarks (Figs. 3–8) use three operation mixes over a uniform
+// key range:
+//   * write-heavy : 50% insert / 50% remove
+//   * read-mostly : 5% insert / 5% remove / 90% contains
+//   * read-only   : 100% contains
+// Queue benchmarks (Figs. 1–2) run enqueue/dequeue pairs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace orcgc {
+
+struct OpMix {
+    // Percentages; contains share is the remainder.
+    int insert_pct;
+    int remove_pct;
+    std::string_view name;
+
+    constexpr int update_pct() const noexcept { return insert_pct + remove_pct; }
+};
+
+inline constexpr OpMix kWriteHeavy{50, 50, "50i-50r"};
+inline constexpr OpMix kReadMostly{5, 5, "5i-5r-90l"};
+inline constexpr OpMix kReadOnly{0, 0, "100l"};
+inline constexpr OpMix kAllMixes[] = {kWriteHeavy, kReadMostly, kReadOnly};
+
+enum class SetOp { kInsert, kRemove, kContains };
+
+/// Draws the next operation for a mix.
+inline SetOp next_op(Xoshiro256& rng, const OpMix& mix) {
+    const auto roll = static_cast<int>(rng.next_bounded(100));
+    if (roll < mix.insert_pct) return SetOp::kInsert;
+    if (roll < mix.insert_pct + mix.remove_pct) return SetOp::kRemove;
+    return SetOp::kContains;
+}
+
+/// Uniform key in [0, key_range).
+inline std::uint64_t next_key(Xoshiro256& rng, std::uint64_t key_range) {
+    return rng.next_bounded(key_range);
+}
+
+}  // namespace orcgc

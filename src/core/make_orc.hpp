@@ -1,0 +1,31 @@
+// make_orc<T>(): protected allocation of OrcGC-tracked objects (paper
+// Algorithm 3, lines 30–36).
+//
+// The object is published in the creating thread's hazardous-pointer array
+// *before* being returned, so it cannot be reclaimed between construction
+// and first use. A freshly made object has zero hard links; if the returned
+// orc_ptr is dropped without ever linking the object into a structure, the
+// release path retires and deletes it — no leak on early-return/exception
+// paths.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "core/orc_base.hpp"
+#include "core/orc_gc.hpp"
+#include "core/orc_ptr.hpp"
+
+namespace orcgc {
+
+template <typename T, typename... Args>
+orc_ptr<T*> make_orc(Args&&... args) {
+    static_assert(std::is_base_of_v<orc_base, T>, "make_orc<T>: T must extend orc_base");
+    auto& engine = OrcEngine::instance();
+    T* ptr = new T(std::forward<Args>(args)...);
+    const int idx = engine.get_new_idx();
+    engine.protect_ptr(static_cast<orc_base*>(ptr), idx);
+    return orc_ptr<T*>(ptr, idx);
+}
+
+}  // namespace orcgc

@@ -1,0 +1,17 @@
+// OrcGC — automatic lock-free memory reclamation (Correia, Ramalhete,
+// Felber; PPoPP 2021). Single umbrella header, mirroring the paper's
+// "implemented as a single C++ header" packaging.
+//
+// Methodology to deploy OrcGC on a data structure (§4.1.1):
+//   1. Make all dynamic types (nodes) extend orcgc::orc_base.
+//   2. Create instances with orcgc::make_orc<T>() instead of new.
+//   3. Replace std::atomic<T*> with orcgc::orc_atomic<T*>.
+//   4. Hold values returned by orc_atomic::load() / make_orc() in
+//      orcgc::orc_ptr<T*> locals (and pass them across functions as such).
+#pragma once
+
+#include "core/make_orc.hpp"
+#include "core/orc_atomic.hpp"
+#include "core/orc_base.hpp"
+#include "core/orc_gc.hpp"
+#include "core/orc_ptr.hpp"

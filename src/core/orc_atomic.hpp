@@ -1,0 +1,124 @@
+// orc_atomic<T*>: an atomic hard link between OrcGC-tracked objects (paper
+// §4.1, Algorithm 4).
+//
+// A drop-in replacement for std::atomic<T*> whose mutating operations
+// (store / compare_exchange / exchange) keep the targets' _orc hard-link
+// counters up to date, and whose load() returns a protected orc_ptr.
+//
+// Contract inherited from the paper: the *new* value written by store(),
+// cas() or exchange() must be protected by the calling thread at the moment
+// of the call — in practice it always is, because data-structure code only
+// ever has new values in the form of live orc_ptr instances (or nullptr, or
+// a marked alias of a protected pointer). The increment that follows a
+// successful CAS runs after the link is visible, which is why the counter
+// is biased and may dip transiently negative (see orc_base.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/marked_ptr.hpp"
+#include "core/orc_base.hpp"
+#include "core/orc_gc.hpp"
+#include "core/orc_ptr.hpp"
+
+namespace orcgc {
+
+template <typename T>
+class orc_atomic {
+    static_assert(std::is_pointer_v<T>,
+                  "orc_atomic<T> requires a pointer type, e.g. orc_atomic<Node*>");
+
+  public:
+    orc_atomic() noexcept : link_(nullptr) {}
+    orc_atomic(std::nullptr_t) noexcept : link_(nullptr) {}
+
+    /// Initializing construction counts as creating a hard link.
+    explicit orc_atomic(const orc_ptr<T>& ptr) : link_(nullptr) { store(ptr); }
+
+    orc_atomic(const orc_atomic&) = delete;
+    orc_atomic& operator=(const orc_atomic&) = delete;
+
+    /// Destroying the link removes one hard link from the target; this is
+    /// what cascades reclamation when a node is deleted (§4.1: "the
+    /// orc_atomic destructor will decrement the orc counter of the object it
+    /// was pointing to").
+    ~orc_atomic() {
+        T old = link_.load(std::memory_order_relaxed);
+        OrcEngine::instance().decrement_orc(OrcEngine::to_base(old));
+    }
+
+    // ---- reads -------------------------------------------------------------
+
+    /// Protected load: returns an orc_ptr owning a fresh hp index with the
+    /// read value published (Algorithm 4 lines 76–79, minus the idx-0
+    /// temporary — see DESIGN.md).
+    orc_ptr<T> load() const {
+        auto& engine = OrcEngine::instance();
+        const int idx = engine.get_new_idx();
+        T ptr = engine.template get_protected<T>(link_, idx);
+        return orc_ptr<T>(ptr, idx);
+    }
+
+    /// Unprotected raw read. Only safe when the caller already protects the
+    /// result (re-reads through a live orc_ptr) or in quiescent contexts
+    /// (constructors, destructors, tests).
+    T load_unsafe(std::memory_order order = std::memory_order_seq_cst) const noexcept {
+        return link_.load(order);
+    }
+
+    // ---- writes ------------------------------------------------------------
+
+    /// store: +1 on the new target, -1 on the displaced target
+    /// (Algorithm 4 lines 63–67). `desired`'s object must be protected by
+    /// the caller (or be nullptr).
+    void store(T desired) {
+        auto& engine = OrcEngine::instance();
+        engine.increment_orc(OrcEngine::to_base(desired));
+        T old = link_.exchange(desired, std::memory_order_seq_cst);
+        engine.decrement_orc(OrcEngine::to_base(old));
+    }
+    void store(const orc_ptr<T>& desired) { store(desired.get()); }
+    void store(std::nullptr_t) { store(T{nullptr}); }
+
+    orc_atomic& operator=(const orc_ptr<T>& desired) {
+        store(desired);
+        return *this;
+    }
+    orc_atomic& operator=(std::nullptr_t) {
+        store(T{nullptr});
+        return *this;
+    }
+
+    /// compare-and-swap (Algorithm 4 lines 69–74): counters are adjusted
+    /// only after the CAS succeeds. `desired`'s object must be protected by
+    /// the caller (or be nullptr / a marked alias of a protected pointer).
+    bool compare_exchange_strong(T expected, T desired) {
+        if (!link_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst)) {
+            return false;
+        }
+        auto& engine = OrcEngine::instance();
+        engine.increment_orc(OrcEngine::to_base(desired));
+        engine.decrement_orc(OrcEngine::to_base(expected));
+        return true;
+    }
+    bool cas(T expected, T desired) { return compare_exchange_strong(expected, desired); }
+
+    /// exchange: returns the displaced value as a protected orc_ptr. The
+    /// displaced link's counter still includes our removed link until we
+    /// decrement, so publishing before decrementing keeps it alive.
+    orc_ptr<T> exchange(T desired) {
+        auto& engine = OrcEngine::instance();
+        engine.increment_orc(OrcEngine::to_base(desired));
+        T old = link_.exchange(desired, std::memory_order_seq_cst);
+        const int idx = engine.get_new_idx();
+        engine.protect_ptr(OrcEngine::to_base(old), idx);
+        engine.decrement_orc(OrcEngine::to_base(old));
+        return orc_ptr<T>(old, idx);
+    }
+
+  private:
+    std::atomic<T> link_;
+};
+
+}  // namespace orcgc

@@ -1,0 +1,66 @@
+// orc_base: the per-object reference-count word (paper §4.1, Algorithm 3).
+//
+// Every OrcGC-tracked type extends orc_base, which holds the single extra
+// word `_orc` (Table 1: "extra words per object = 1"):
+//
+//   bits  0..21  biased hard-link counter; value kOrcZero (1<<22 would not
+//                fit, so the bias *is* bit 22 — see below) means zero links;
+//                the bias lets the counter dip temporarily negative, which
+//                happens because compare_exchange increments the new target
+//                only *after* the CAS succeeds (another thread may unlink and
+//                decrement first).
+//   bit   22    the bias bit (part of the counter field).
+//   bit   23    kBRetired — set by the unique thread that wins the right to
+//                run retire() for the object ("the retire token").
+//   bits 24..63 a 40-bit sequence incremented on every counter update; lets
+//                retire() detect that `_orc` did not change while it scanned
+//                the hazardous-pointer arrays (Lemma 1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace orcgc {
+
+namespace orc {
+
+inline constexpr std::uint64_t kSeqInc = 1ULL << 24;   // +1 to the sequence field
+inline constexpr std::uint64_t kBRetired = 1ULL << 23; // retire-token bit
+inline constexpr std::uint64_t kOrcZero = 1ULL << 22;  // counter bias == "zero links"
+inline constexpr std::uint64_t kOrcCntMask = kSeqInc - 1;  // counter+token bits
+
+/// Counter-and-token field of an _orc value (paper's ocnt()).
+inline constexpr std::uint64_t ocnt(std::uint64_t x) noexcept { return x & kOrcCntMask; }
+
+/// True iff the counter is at zero and the retire token is not taken.
+inline constexpr bool is_zero_unretired(std::uint64_t x) noexcept { return ocnt(x) == kOrcZero; }
+
+/// True iff the counter is at zero and the retire token is taken.
+inline constexpr bool is_zero_retired(std::uint64_t x) noexcept {
+    return ocnt(x) == (kBRetired | kOrcZero);
+}
+
+/// Signed number of hard links encoded in an _orc value (for tests/debug).
+inline constexpr std::int64_t link_count(std::uint64_t x) noexcept {
+    return static_cast<std::int64_t>(x & (kBRetired - 1)) - static_cast<std::int64_t>(kOrcZero);
+}
+
+/// Sequence field (for tests/debug).
+inline constexpr std::uint64_t seq(std::uint64_t x) noexcept { return x >> 24; }
+
+}  // namespace orc
+
+/// Base type which all OrcGC-tracked objects must extend (Algorithm 3).
+/// The destructor is virtual because the reclamation engine deletes objects
+/// through orc_base* (the vtable pointer is the usual C++ cost of that; the
+/// scheme itself needs only the one _orc word).
+struct orc_base {
+    std::atomic<std::uint64_t> _orc{orc::kOrcZero};
+
+    orc_base() noexcept = default;
+    orc_base(const orc_base&) = delete;
+    orc_base& operator=(const orc_base&) = delete;
+    virtual ~orc_base() = default;
+};
+
+}  // namespace orcgc

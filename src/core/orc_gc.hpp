@@ -1,0 +1,376 @@
+// The OrcGC reclamation engine: PassThePointerOrcGC (paper §4.1,
+// Algorithms 3, 5 and 6).
+//
+// A process-wide singleton holding, per thread:
+//   * hp[]        published hazardous pointers (index 0 is a scratch slot
+//                 used internally while mutating _orc — Proposition 1),
+//   * handovers[] the pass-the-pointer parking slots paired 1:1 with hp,
+//   * used_haz[]  thread-local reference counts of how many live orc_ptr
+//                 instances share each hp index,
+//   * the recursion guard that flattens cascading retires (a deleted node's
+//     orc_atomic members decrement — and possibly retire — their targets).
+//
+// Deviations from the paper's pseudocode are listed in DESIGN.md §1.3; the
+// load-bearing ones are (a) orc_ptr instances always own a real hp index
+// (no idx-0 temporaries), so protection never migrates between slots, and
+// (b) a thread nulls its own hp entry *before* entering the retire scan so
+// it cannot park the object on itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/thread_registry.hpp"
+#include "core/orc_base.hpp"
+
+namespace orcgc {
+
+class OrcEngine {
+  public:
+    /// Per-thread hazardous-pointer capacity. Index 0 is reserved scratch;
+    /// indices [1, kMaxHPs) are handed to orc_ptr instances.
+    static constexpr int kMaxHPs = 64;
+
+    static OrcEngine& instance() {
+        static OrcEngine engine;
+        return engine;
+    }
+
+    OrcEngine(const OrcEngine&) = delete;
+    OrcEngine& operator=(const OrcEngine&) = delete;
+
+    // ---- hp index management (Algorithm 6) -------------------------------
+
+    /// Claims a free hp index for the calling thread (used_haz goes 0 -> 1).
+    /// O(1): free indices are recycled through a per-thread stack, seeded so
+    /// that the lowest indices pop first (keeps the global scan watermark
+    /// tight).
+    int get_new_idx() {
+        auto& t = tl_[thread_id()];
+        if (t.free_top < 0) {
+            if (t.free_initialized) {
+                std::fprintf(stderr, "orcgc: thread exceeded %d live orc_ptr indices\n",
+                             kMaxHPs);
+                std::abort();
+            }
+            for (int idx = kMaxHPs - 1; idx >= 1; --idx) t.free_stack[++t.free_top] = idx;
+            t.free_initialized = true;
+        }
+        const int idx = t.free_stack[t.free_top--];
+        t.used_haz[idx] = 1;
+        // Raise the global scan watermark so retire() covers this index.
+        int cur_max = max_hps_.load(std::memory_order_acquire);
+        while (cur_max <= idx &&
+               !max_hps_.compare_exchange_weak(cur_max, idx + 1, std::memory_order_acq_rel)) {
+        }
+        return idx;
+    }
+
+    /// Adds a sharer to an already-claimed index (orc_ptr copy).
+    void using_idx(int idx) noexcept {
+        if (idx <= 0) return;
+        ++tl_[thread_id()].used_haz[idx];
+    }
+
+    /// Drops a sharer from `idx`; when the last sharer leaves, performs the
+    /// clear() protocol of Algorithm 5: check whether the object this slot
+    /// protected became unreachable (take the retire token while our hp still
+    /// protects the _orc read), then unpublish and drain the paired handover.
+    void release_idx(int idx, orc_base* obj) {
+        if (idx <= 0) return;
+        auto& t = tl_[thread_id()];
+        if (t.used_haz[idx] == 0) {
+            std::fprintf(stderr, "orcgc: used_haz underflow at idx %d\n", idx);
+            std::abort();
+        }
+        if (--t.used_haz[idx] != 0) return;
+        if (obj != nullptr) {
+            // The hp entry still protects obj, so this _orc read cannot be a
+            // use-after-free: any concurrent retire scan would find our hp
+            // and park the object instead of deleting it.
+            std::uint64_t lorc = obj->_orc.load(std::memory_order_seq_cst);
+            if (orc::is_zero_unretired(lorc) &&
+                obj->_orc.compare_exchange_strong(lorc, lorc + orc::kBRetired,
+                                                  std::memory_order_seq_cst)) {
+                // We own the retire token: nobody else can free obj now, so
+                // it is safe to unpublish before scanning.
+                unpublish_and_drain(t, idx);
+                retire(obj);
+                t.free_stack[++t.free_top] = idx;  // recycle only after the clear
+                return;
+            }
+        }
+        unpublish_and_drain(t, idx);
+        t.free_stack[++t.free_top] = idx;
+    }
+
+    // ---- protection -------------------------------------------------------
+
+    /// Publishes `ptr` (unmarked) at hp index `idx` with a full fence.
+    void protect_ptr(orc_base* ptr, int idx) noexcept {
+        tl_[thread_id()].hp[idx].exchange(ptr, std::memory_order_seq_cst);
+    }
+
+    /// Classic hazard-pointer acquire loop (Algorithm 2 lines 4–11): publish
+    /// the value read from addr, re-read until stable. Returns the raw
+    /// (possibly marked) value; the published hazard is the unmarked object.
+    template <typename T>
+    T get_protected(const std::atomic<T>& addr, int idx) noexcept {
+        auto& hp = tl_[thread_id()].hp[idx];
+        orc_base* pub = hp.load(std::memory_order_relaxed);
+        while (true) {
+            T ptr = addr.load(std::memory_order_seq_cst);
+            orc_base* base = to_base(ptr);
+            if (base == pub) return ptr;
+            hp.exchange(base, std::memory_order_seq_cst);
+            pub = base;
+        }
+    }
+
+    /// Scratch-slot (index 0) publication used while mutating _orc
+    /// (Proposition 1). Must be paired with scratch_release().
+    void scratch_protect(orc_base* ptr) noexcept {
+        tl_[thread_id()].hp[0].exchange(ptr, std::memory_order_seq_cst);
+    }
+
+    /// Clears the scratch slot and drains anything parked on it by a
+    /// concurrent retire scan that found our scratch publication.
+    void scratch_release() {
+        auto& t = tl_[thread_id()];
+        unpublish_and_drain(t, 0);
+    }
+
+    // ---- counter updates (Algorithm 4's incrementOrc / decrementOrc) ------
+
+    /// Adds one hard link to obj. Precondition: the caller has obj protected
+    /// (it holds an orc_ptr to it), so the _orc access is safe.
+    void increment_orc(orc_base* obj) {
+        if (obj == nullptr) return;
+        const std::uint64_t lorc =
+            obj->_orc.fetch_add(orc::kSeqInc + 1, std::memory_order_seq_cst) + orc::kSeqInc + 1;
+        if (!orc::is_zero_unretired(lorc)) return;
+        // The increment brought a transiently-negative counter back to zero:
+        // the object may be unreachable; try to take the retire token.
+        std::uint64_t expected = lorc;
+        if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
+                                              std::memory_order_seq_cst)) {
+            retire(obj);
+        }
+    }
+
+    /// Removes one hard link from obj. The caller may NOT have obj protected
+    /// (e.g. the displaced value of a store), so the scratch slot shields the
+    /// _orc access (Proposition 1).
+    void decrement_orc(orc_base* obj) {
+        if (obj == nullptr) return;
+        scratch_protect(obj);
+        const std::uint64_t lorc =
+            obj->_orc.fetch_add(orc::kSeqInc - 1, std::memory_order_seq_cst) + orc::kSeqInc - 1;
+        if (orc::is_zero_unretired(lorc)) {
+            std::uint64_t expected = lorc;
+            if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
+                                                  std::memory_order_seq_cst)) {
+                scratch_release();
+                retire(obj);
+                return;
+            }
+        }
+        scratch_release();
+    }
+
+    // ---- retire (Algorithm 5) ---------------------------------------------
+
+    /// Runs the pass-the-pointer retire protocol for an object whose retire
+    /// token (kBRetired) the caller holds. Deletes the object if Lemma 1's
+    /// condition (counter at zero AND no hazardous pointer, atomically
+    /// validated via the sequence field) holds; otherwise hands it over or
+    /// drops the token.
+    void retire(orc_base* ptr) {
+        auto& t = tl_[thread_id()];
+        if (t.retire_started) {
+            // Cascading retire from inside a node destructor: flatten it.
+            t.recursive_list.push_back(ptr);
+            return;
+        }
+        t.retire_started = true;
+        std::size_t i = 0;
+        while (true) {
+            while (ptr != nullptr) {
+                std::uint64_t lorc = ptr->_orc.load(std::memory_order_seq_cst);
+                if (!orc::is_zero_retired(lorc)) {
+                    // Resurrected: a thread holding a local reference re-linked
+                    // the object. Drop the token (and re-take it if the counter
+                    // fell back to zero under us).
+                    lorc = clear_bit_retired(ptr);
+                    if (lorc == 0) break;  // token dropped; a later decrement re-retires
+                }
+                if (try_handover(ptr)) continue;  // ptr is now the swapped-out pointer
+                const std::uint64_t lorc2 = ptr->_orc.load(std::memory_order_seq_cst);
+                if (lorc2 != lorc) continue;  // _orc moved during the scan: revalidate
+                // Lemma 1: counter zero, token held, no hp found, sequence
+                // unchanged across the scan — safe to destroy.
+                delete ptr;  // may push cascaded retires into recursive_list
+                break;
+            }
+            if (t.recursive_list.size() == i) break;
+            ptr = t.recursive_list[i++];
+        }
+        t.recursive_list.clear();
+        t.retire_started = false;
+    }
+
+    // ---- introspection (tests / memory-bound benches) ----------------------
+
+    /// Pointers currently parked in handover slots across all threads.
+    std::size_t handover_count() const noexcept {
+        std::size_t total = 0;
+        const int wm = thread_id_watermark();
+        const int lmax = max_hps_.load(std::memory_order_acquire);
+        for (int it = 0; it < wm; ++it) {
+            for (int idx = 0; idx < lmax; ++idx) {
+                if (tl_[it].handovers[idx].load(std::memory_order_acquire) != nullptr) ++total;
+            }
+        }
+        return total;
+    }
+
+    /// Live orc_ptr sharers on the calling thread (slot-leak checks).
+    int used_idx_count() const noexcept {
+        const auto& t = tl_[thread_id()];
+        int used = 0;
+        for (int idx = 1; idx < kMaxHPs; ++idx) {
+            if (t.used_haz[idx] != 0) ++used;
+        }
+        return used;
+    }
+
+    int hp_watermark() const noexcept { return max_hps_.load(std::memory_order_acquire); }
+
+    /// Debug aid: prints the calling thread's non-free slots.
+    void debug_dump_slots() const {
+        const auto& t = tl_[thread_id()];
+        for (int idx = 1; idx < kMaxHPs; ++idx) {
+            if (t.used_haz[idx] != 0) {
+                std::fprintf(stderr, "  idx=%d used=%u hp=%p handover=%p\n", idx,
+                             t.used_haz[idx], (void*)t.hp[idx].load(),
+                             (void*)t.handovers[idx].load());
+            }
+        }
+    }
+
+    /// Converts a (possibly marked) node pointer to its orc_base address.
+    template <typename T>
+    static orc_base* to_base(T ptr) noexcept {
+        return static_cast<orc_base*>(get_unmarked(ptr));
+    }
+
+  private:
+    struct alignas(kCacheLineSize) TLInfo {
+        std::atomic<orc_base*> hp[kMaxHPs] = {};
+        // Own cache lines: handovers are written by *other* threads.
+        alignas(kCacheLineSize) std::atomic<orc_base*> handovers[kMaxHPs] = {};
+        alignas(kCacheLineSize) std::uint32_t used_haz[kMaxHPs] = {};
+        // O(1) index recycling (thread-local; seeded lazily on first use).
+        int free_stack[kMaxHPs];
+        int free_top = -1;
+        bool free_initialized = false;
+        bool retire_started = false;
+        std::vector<orc_base*> recursive_list;
+    };
+
+    OrcEngine() {
+        // Drain the handover slots of exiting threads so parked objects do
+        // not wait for tid reuse (DESIGN.md deviation 3).
+        add_thread_exit_hook(&OrcEngine::thread_exit_hook);
+    }
+
+    ~OrcEngine() {
+        // Process teardown: anything still parked is unreachable by now.
+        for (auto& t : tl_) {
+            for (auto& h : t.handovers) {
+                if (orc_base* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) delete ptr;
+            }
+        }
+    }
+
+    static void thread_exit_hook(int tid) { instance().drain_thread(tid); }
+
+    /// Called while `tid` is still owned by the exiting thread.
+    void drain_thread(int tid) {
+        auto& t = tl_[tid];
+        for (int idx = 0; idx < kMaxHPs; ++idx) {
+            t.hp[idx].store(nullptr, std::memory_order_seq_cst);
+            if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
+                retire(h);
+            }
+        }
+    }
+
+    void unpublish_and_drain(TLInfo& t, int idx) {
+        // Release suffices for the clear (paper Alg. 2 line 14): a scanner
+        // reading the stale non-null hp parks conservatively; only *publish*
+        // needs the full fence.
+        t.hp[idx].store(nullptr, std::memory_order_release);
+        if (t.handovers[idx].load(std::memory_order_seq_cst) != nullptr) {
+            if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
+                // The parked object carries its retire token; continue the
+                // protocol on its behalf.
+                retire(h);
+            }
+        }
+    }
+
+    /// Algorithm 6 lines 134–145: scan all published hp entries for `ptr`;
+    /// if found, park it in the paired handover slot and take away whatever
+    /// was parked there before.
+    bool try_handover(orc_base*& ptr) {
+        const int lmax = max_hps_.load(std::memory_order_seq_cst);
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            for (int idx = 0; idx < lmax; ++idx) {
+                if (tl_[it].hp[idx].load(std::memory_order_seq_cst) == ptr) {
+                    ptr = tl_[it].handovers[idx].exchange(ptr, std::memory_order_seq_cst);
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+
+    /// Algorithm 6 lines 147–158: drop the retire token because the counter
+    /// moved off zero. If the counter is back at zero after the drop, re-take
+    /// the token and return the new _orc value (caller continues retiring);
+    /// otherwise return 0 (a future decrement will re-trigger retirement).
+    std::uint64_t clear_bit_retired(orc_base* ptr) {
+        auto& t = tl_[thread_id()];
+        // Publish on scratch: we are about to mutate _orc of an object whose
+        // token we are in the middle of dropping (Proposition 1).
+        t.hp[0].exchange(ptr, std::memory_order_seq_cst);
+        const std::uint64_t lorc =
+            obj_sub_retired(ptr);
+        std::uint64_t result = 0;
+        if (orc::is_zero_unretired(lorc)) {
+            std::uint64_t expected = lorc;
+            if (ptr->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
+                                                  std::memory_order_seq_cst)) {
+                result = lorc + orc::kBRetired;
+            }
+        }
+        unpublish_and_drain(t, 0);
+        return result;
+    }
+
+    static std::uint64_t obj_sub_retired(orc_base* ptr) noexcept {
+        return ptr->_orc.fetch_sub(orc::kBRetired, std::memory_order_seq_cst) - orc::kBRetired;
+    }
+
+    TLInfo tl_[kMaxThreads];
+    std::atomic<int> max_hps_{1};
+};
+
+}  // namespace orcgc

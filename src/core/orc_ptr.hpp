@@ -1,0 +1,139 @@
+// orc_ptr<T*>: RAII local reference to an OrcGC-tracked object (paper §4.1.1,
+// Algorithm 7).
+//
+// While an orc_ptr is alive, the object it references is published in the
+// owning thread's hazardous-pointer array and therefore cannot be deleted.
+// Copies *share* the hp index through the engine's used_haz reference count;
+// destruction of the last sharer runs the clear() protocol (retire check +
+// handover drain).
+//
+// Deviation from the paper's Algorithm 7 (DESIGN.md §1.3): there are no
+// index-0 temporaries — orc_atomic::load() and make_orc() hand out orc_ptrs
+// that already own a real index, so the assignment operator never migrates a
+// published pointer between hp slots and the paper's traversal-direction
+// argument is unnecessary.
+//
+// The stored pointer may carry Harris-style mark bits; the published hazard
+// and all _orc accesses always use the unmarked address.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "common/marked_ptr.hpp"
+#include "core/orc_base.hpp"
+#include "core/orc_gc.hpp"
+
+namespace orcgc {
+
+template <typename T>
+class orc_atomic;  // forward declaration (friendship)
+
+template <typename T>
+class orc_ptr {
+    static_assert(std::is_pointer_v<T>, "orc_ptr<T> requires a pointer type, e.g. orc_ptr<Node*>");
+
+  public:
+    /// Empty reference; owns no hp index.
+    orc_ptr() noexcept : ptr_(nullptr), idx_(kNoIndex) {}
+    orc_ptr(std::nullptr_t) noexcept : orc_ptr() {}
+
+    /// Adopts an already-protected pointer. Internal: used by
+    /// orc_atomic::load(), make_orc() and the engine-facing factories.
+    /// `idx` must hold a used_haz reference owned by the caller, with the
+    /// unmarked `ptr` published at hp[idx].
+    orc_ptr(T ptr, int idx) noexcept : ptr_(ptr), idx_(idx) {}
+
+    orc_ptr(const orc_ptr& other) : ptr_(other.ptr_), idx_(other.idx_) {
+        OrcEngine::instance().using_idx(idx_);
+    }
+
+    orc_ptr(orc_ptr&& other) noexcept : ptr_(other.ptr_), idx_(other.idx_) {
+        other.ptr_ = nullptr;
+        other.idx_ = kNoIndex;
+    }
+
+    orc_ptr& operator=(const orc_ptr& other) {
+        if (this == &other) return *this;
+        auto& engine = OrcEngine::instance();
+        engine.using_idx(other.idx_);  // before release: safe under self-aliasing
+        engine.release_idx(idx_, base());
+        ptr_ = other.ptr_;
+        idx_ = other.idx_;
+        return *this;
+    }
+
+    orc_ptr& operator=(orc_ptr&& other) noexcept(false) {
+        if (this == &other) return *this;
+        OrcEngine::instance().release_idx(idx_, base());
+        ptr_ = other.ptr_;
+        idx_ = other.idx_;
+        other.ptr_ = nullptr;
+        other.idx_ = kNoIndex;
+        return *this;
+    }
+
+    orc_ptr& operator=(std::nullptr_t) {
+        OrcEngine::instance().release_idx(idx_, base());
+        ptr_ = nullptr;
+        idx_ = kNoIndex;
+        return *this;
+    }
+
+    ~orc_ptr() { OrcEngine::instance().release_idx(idx_, base()); }
+
+    // ---- access -----------------------------------------------------------
+
+    /// Raw value, including any mark bits.
+    T get() const noexcept { return ptr_; }
+    /// Implicit conversion so orc_ptr can be compared/passed like a T.
+    operator T() const noexcept { return ptr_; }
+
+    /// Dereference through the unmarked address (mark bits are metadata).
+    T operator->() const noexcept { return get_unmarked(ptr_); }
+    auto& operator*() const noexcept { return *get_unmarked(ptr_); }
+
+    explicit operator bool() const noexcept { return get_unmarked(ptr_) != nullptr; }
+
+    // ---- mark-bit helpers (Harris-style lists) ----------------------------
+
+    bool is_marked() const noexcept { return orcgc::is_marked(ptr_); }
+    T unmarked() const noexcept { return get_unmarked(ptr_); }
+
+    /// Strips the mark bits in place. The protected object is unchanged, so
+    /// the hp publication stays valid.
+    void unmark() noexcept { ptr_ = get_unmarked(ptr_); }
+
+    /// Number-of-sharers index, exposed for white-box tests.
+    int index() const noexcept { return idx_; }
+
+  private:
+    static constexpr int kNoIndex = -1;
+
+    orc_base* base() const noexcept {
+        return idx_ == kNoIndex ? nullptr : OrcEngine::to_base(ptr_);
+    }
+
+    template <typename U>
+    friend class orc_atomic;
+
+    T ptr_;
+    int idx_;
+};
+
+// Comparisons against raw pointers and between orc_ptrs (by address value,
+// mark bits included — matching how the underlying atomics compare).
+template <typename T>
+bool operator==(const orc_ptr<T>& a, const orc_ptr<T>& b) noexcept {
+    return a.get() == b.get();
+}
+template <typename T>
+bool operator==(const orc_ptr<T>& a, T b) noexcept {
+    return a.get() == b;
+}
+template <typename T>
+bool operator==(const orc_ptr<T>& a, std::nullptr_t) noexcept {
+    return a.get() == nullptr;
+}
+
+}  // namespace orcgc

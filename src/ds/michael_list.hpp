@@ -1,0 +1,165 @@
+// Michael's lock-free ordered list / set (SPAA 2002) — "High Performance
+// Dynamic Lock-Free Hash Tables and List-Based Sets" — templated over any
+// manual reclamation scheme in src/reclamation/.
+//
+// This is the "Michael-Harris lock-free linked list" of the paper's Figs. 3
+// and 4: Harris's algorithm modified so that traversals physically unlink
+// marked nodes as they go and *restart* when the window changes, which is
+// exactly what makes it compatible with hazard-pointer-style reclamation
+// (the original Harris list is not — see harris_list_orc.hpp).
+//
+// A node's logical-deletion mark is the low bit of its own next field.
+// find() maintains three protections rotating over the scan window:
+// prev-node, curr and next (H = 3 in the paper's bound notation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/alloc_tracker.hpp"
+#include "common/marked_ptr.hpp"
+#include "reclamation/reclaimable.hpp"
+#include "reclamation/reclaimer_concepts.hpp"
+
+namespace orcgc {
+
+template <typename K, template <class, int> class ReclaimerTmpl>
+class MichaelList {
+  public:
+    struct Node : ReclaimableBase, TrackedObject {
+        const K key;
+        std::atomic<Node*> next{nullptr};
+        explicit Node(K k) : key(k) {}
+    };
+
+    /// Hazard indices used per operation (the paper's H).
+    static constexpr int kNumHPs = 3;
+    using Reclaimer = ReclaimerTmpl<Node, kNumHPs>;
+    static_assert(ManualReclaimer<Reclaimer, Node>);
+
+    MichaelList() = default;
+    MichaelList(const MichaelList&) = delete;
+    MichaelList& operator=(const MichaelList&) = delete;
+
+    ~MichaelList() {
+        // Single-threaded teardown: free the reachable chain; retired nodes
+        // are freed by the reclaimer's destructor.
+        Node* curr = get_unmarked(head_.load(std::memory_order_relaxed));
+        while (curr != nullptr) {
+            Node* next = get_unmarked(curr->next.load(std::memory_order_relaxed));
+            delete curr;
+            curr = next;
+        }
+    }
+
+    /// Inserts key; returns false if already present.
+    bool insert(K key) {
+        gc_.begin_op();
+        Node* node = new Node(key);
+        while (true) {
+            Window w = find(key);
+            if (w.found) {
+                delete node;  // never published: direct delete is safe
+                gc_.end_op();
+                return false;
+            }
+            node->next.store(w.curr, std::memory_order_relaxed);
+            Node* expected = w.curr;
+            if (w.prev->compare_exchange_strong(expected, node, std::memory_order_seq_cst)) {
+                gc_.end_op();
+                return true;
+            }
+        }
+    }
+
+    /// Removes key; returns false if not present.
+    bool remove(K key) {
+        gc_.begin_op();
+        while (true) {
+            Window w = find(key);
+            if (!w.found) {
+                gc_.end_op();
+                return false;
+            }
+            // Logically delete: mark curr's next.
+            Node* expected = w.next;
+            if (!w.curr->next.compare_exchange_strong(expected, get_marked(w.next),
+                                                      std::memory_order_seq_cst)) {
+                continue;  // lost a race on this node; retry from find
+            }
+            // Physically unlink; on failure another traversal will.
+            expected = w.curr;
+            if (w.prev->compare_exchange_strong(expected, w.next, std::memory_order_seq_cst)) {
+                gc_.retire(w.curr);
+            } else {
+                find(key);  // help unlink before returning
+            }
+            gc_.end_op();
+            return true;
+        }
+    }
+
+    bool contains(K key) {
+        gc_.begin_op();
+        const bool found = find(key).found;
+        gc_.end_op();
+        return found;
+    }
+
+    Reclaimer& reclaimer() noexcept { return gc_; }
+    static constexpr const char* scheme_name() noexcept { return Reclaimer::kName; }
+
+  private:
+    struct Window {
+        std::atomic<Node*>* prev;  // link whose target is curr
+        Node* curr;                // first unmarked node with key >= target (or null)
+        Node* next;                // curr's successor at observation time
+        bool found;
+    };
+
+    /// Michael's Find: returns a clean window (prev unmarked, curr unmarked),
+    /// unlinking marked nodes encountered on the way. Protection indices
+    /// rotate so each advance publishes exactly one new hazard.
+    Window find(K key) {
+    retry:
+        std::atomic<Node*>* prev = &head_;
+        int ip = 0, ic = 1, in = 2;  // hazard roles: prev-node, curr, next
+        Node* curr = gc_.get_protected(*prev, ic);
+        if (is_marked(curr)) goto retry;  // prev node got deleted under us
+        while (true) {
+            if (curr == nullptr) return {prev, nullptr, nullptr, false};
+            Node* next_raw = gc_.get_protected(curr->next, in);
+            // Validate the window: prev must still link to (unmarked) curr.
+            if (prev->load(std::memory_order_seq_cst) != curr) goto retry;
+            if (!is_marked(next_raw)) {
+                if (!(curr->key < key)) {
+                    return {prev, curr, next_raw, curr->key == key};
+                }
+                prev = &curr->next;
+                // Advance: curr becomes prev-node, next becomes curr.
+                const int tmp = ip;
+                ip = ic;
+                ic = in;
+                in = tmp;
+                curr = next_raw;
+            } else {
+                // curr is logically deleted: unlink it.
+                Node* next = get_unmarked(next_raw);
+                Node* expected = curr;
+                if (!prev->compare_exchange_strong(expected, next, std::memory_order_seq_cst)) {
+                    goto retry;
+                }
+                gc_.retire(curr);
+                const int tmp = ic;
+                ic = in;  // next takes over the curr role
+                in = tmp;
+                curr = next;
+            }
+        }
+    }
+
+    std::atomic<Node*> head_{nullptr};
+    Reclaimer gc_;
+};
+
+}  // namespace orcgc

@@ -1,0 +1,119 @@
+// Michael–Scott lock-free queue (PODC 1996) templated over any manual
+// reclamation scheme — the baseline side of the paper's Figs. 1 and 2.
+//
+// Standard hazard-pointer integration (Michael 2004 §4): the candidate
+// head/tail node is protected at index 0, the successor at index 1, and the
+// dequeued sentinel is retired after the head swings past it. H = 2.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "common/alloc_tracker.hpp"
+#include "reclamation/reclaimable.hpp"
+#include "reclamation/reclaimer_concepts.hpp"
+
+namespace orcgc {
+
+template <typename T, template <class, int> class ReclaimerTmpl>
+class MSQueue {
+  public:
+    struct Node : ReclaimableBase, TrackedObject {
+        T item;
+        std::atomic<Node*> next{nullptr};
+        Node() : item{} {}
+        explicit Node(T it) : item(std::move(it)) {}
+    };
+
+    static constexpr int kNumHPs = 2;
+    using Reclaimer = ReclaimerTmpl<Node, kNumHPs>;
+    static_assert(ManualReclaimer<Reclaimer, Node>);
+
+    MSQueue() {
+        Node* sentinel = new Node();
+        head_.store(sentinel, std::memory_order_relaxed);
+        tail_.store(sentinel, std::memory_order_relaxed);
+    }
+
+    MSQueue(const MSQueue&) = delete;
+    MSQueue& operator=(const MSQueue&) = delete;
+
+    ~MSQueue() {
+        Node* curr = head_.load(std::memory_order_relaxed);
+        while (curr != nullptr) {
+            Node* next = curr->next.load(std::memory_order_relaxed);
+            delete curr;
+            curr = next;
+        }
+    }
+
+    void enqueue(T item) {
+        gc_.begin_op();
+        Node* node = new Node(std::move(item));
+        while (true) {
+            Node* ltail = gc_.get_protected(tail_, 0);
+            if (ltail != tail_.load(std::memory_order_seq_cst)) continue;
+            Node* lnext = ltail->next.load(std::memory_order_seq_cst);
+            if (lnext == nullptr) {
+                Node* expected = nullptr;
+                if (ltail->next.compare_exchange_strong(expected, node,
+                                                        std::memory_order_seq_cst)) {
+                    Node* texp = ltail;
+                    tail_.compare_exchange_strong(texp, node, std::memory_order_seq_cst);
+                    break;
+                }
+            } else {
+                Node* texp = ltail;
+                tail_.compare_exchange_strong(texp, lnext, std::memory_order_seq_cst);
+            }
+        }
+        gc_.end_op();
+    }
+
+    std::optional<T> dequeue() {
+        gc_.begin_op();
+        while (true) {
+            Node* lhead = gc_.get_protected(head_, 0);
+            Node* ltail = tail_.load(std::memory_order_seq_cst);
+            Node* lnext = gc_.get_protected(lhead->next, 1);
+            if (lhead != head_.load(std::memory_order_seq_cst)) continue;
+            if (lnext == nullptr) {
+                gc_.end_op();
+                return std::nullopt;  // empty
+            }
+            if (lhead == ltail) {
+                Node* texp = ltail;
+                tail_.compare_exchange_strong(texp, lnext, std::memory_order_seq_cst);
+                continue;
+            }
+            // Read the item while lnext is protected; after the CAS lnext is
+            // the new sentinel and a faster dequeuer may retire it.
+            T item = lnext->item;
+            Node* hexp = lhead;
+            if (head_.compare_exchange_strong(hexp, lnext, std::memory_order_seq_cst)) {
+                gc_.retire(lhead);
+                gc_.end_op();
+                return item;
+            }
+        }
+    }
+
+    bool empty() {
+        gc_.begin_op();
+        Node* lhead = gc_.get_protected(head_, 0);
+        const bool result = lhead->next.load(std::memory_order_seq_cst) == nullptr;
+        gc_.end_op();
+        return result;
+    }
+
+    Reclaimer& reclaimer() noexcept { return gc_; }
+    static constexpr const char* scheme_name() noexcept { return Reclaimer::kName; }
+
+  private:
+    std::atomic<Node*> head_;
+    std::atomic<Node*> tail_;
+    Reclaimer gc_;
+};
+
+}  // namespace orcgc

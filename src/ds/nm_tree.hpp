@@ -1,0 +1,285 @@
+// Natarajan–Mittal lock-free external binary search tree (PPoPP 2014),
+// templated over a manual reclamation scheme.
+//
+// External tree: all keys live in leaves; internal nodes are routers with
+// exactly two children. Deletion is edge-based: the deleter *flags* the edge
+// into the doomed leaf (bit 0), *tags* the edge into its sibling (bit 1) to
+// freeze the parent, and then swings the grandparent/ancestor edge straight
+// to the sibling, unlinking leaf and parent together.
+//
+// Reclamation-soundness note (why the benchmark only pairs this tree with
+// EBR and OrcGC): seek() descends hand-over-hand without re-validating
+// links from the root, so a scheme whose protection only covers *validated*
+// reads can free a node the traversal still reaches — the classic
+// unvalidated-traversal hazard the paper's §2 discusses.
+//   * HP/PTB/PTP (pointer-based) are unsound here: the published hazard
+//     protects one object, and a stale-but-protected parent lets the
+//     traversal step onto an already-freed child.
+//   * HE is unsound for the same reason: it reserves the era *current at
+//     each read*, not an interval covering the whole operation ("HE can be
+//     used wherever HP can" — same applicability, SPAA '17). Our ASan suite
+//     demonstrates the use-after-free if HE is forced onto this tree.
+//   * Our 2GEIBR is *also* not demonstrably sound here: TSan catches a
+//     seek() read of a node freed by an IBR scan under heavy contested
+//     churn. The interval [op-start, last-read] covers nodes that were
+//     reachable at operation start, but the tree's frozen tag/flag chains
+//     admit hops whose coverage we could not establish — so the pairing is
+//     excluded rather than shipped on a conjecture.
+//   * EBR (quiescent) is sound: the global epoch cannot advance past an
+//     active reader, so anything reachable — directly or via frozen chains
+//     entered through nodes alive at operation start — stays allocated.
+//   * OrcGC (nm_tree_orc.hpp) is sound because a protected parent's hard
+//     link pins the child's counter above zero.
+// This mirrors the paper's Figs. 7–8, which run the tree with "manual or
+// automatic reclamation whenever the data structure algorithm allows it".
+//
+// Under heavy contention a cleanup may unlink a chain of more than two nodes
+// (successor != parent); the manual variant retires leaf, parent and
+// successor but any interior chain nodes leak — a known limitation of manual
+// schemes on this tree that the OrcGC variant does not have.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "common/alloc_tracker.hpp"
+#include "common/marked_ptr.hpp"
+#include "reclamation/reclaimable.hpp"
+#include "reclamation/reclaimer_concepts.hpp"
+
+namespace orcgc {
+
+template <typename K, template <class, int> class ReclaimerTmpl>
+class NMTree {
+    static_assert(std::is_unsigned_v<K>, "NMTree reserves the top key values as sentinels");
+
+  public:
+    struct Node : ReclaimableBase, TrackedObject {
+        const K key;
+        std::atomic<Node*> left{nullptr};
+        std::atomic<Node*> right{nullptr};
+        explicit Node(K k) : key(k) {}
+        Node(K k, Node* l, Node* r) : key(k) {
+            left.store(l, std::memory_order_relaxed);
+            right.store(r, std::memory_order_relaxed);
+        }
+    };
+
+    static constexpr int kNumHPs = 1;  // era schemes ignore indices
+    using Reclaimer = ReclaimerTmpl<Node, kNumHPs>;
+    static_assert(ManualReclaimer<Reclaimer, Node>);
+
+    static constexpr K kInf0 = std::numeric_limits<K>::max() - 2;
+    static constexpr K kInf1 = std::numeric_limits<K>::max() - 1;
+    static constexpr K kInf2 = std::numeric_limits<K>::max();
+    /// Largest key a user may store.
+    static constexpr K max_user_key() noexcept { return kInf0 - 1; }
+
+    NMTree() {
+        // R(inf2){ S, leaf(inf2) }, S(inf1){ leaf(inf0), leaf(inf1) }.
+        Node* s = new Node(kInf1, new Node(kInf0), new Node(kInf1));
+        root_ = new Node(kInf2, s, new Node(kInf2));
+    }
+
+    NMTree(const NMTree&) = delete;
+    NMTree& operator=(const NMTree&) = delete;
+
+    ~NMTree() { destroy(root_); }
+
+    bool insert(K key) {
+        gc_.begin_op();
+        while (true) {
+            SeekRecord sr = seek(key);
+            if (sr.leaf->key == key) {
+                gc_.end_op();
+                return false;
+            }
+            Node* parent = sr.parent;
+            std::atomic<Node*>* child_addr =
+                (key < parent->key) ? &parent->left : &parent->right;
+            Node* leaf = sr.leaf;
+            Node* new_leaf = new Node(key);
+            Node* internal = (key < leaf->key)
+                                 ? new Node(leaf->key, new_leaf, leaf)
+                                 : new Node(key, leaf, new_leaf);
+            Node* expected = leaf;
+            if (child_addr->compare_exchange_strong(expected, internal,
+                                                    std::memory_order_seq_cst)) {
+                gc_.end_op();
+                return true;
+            }
+            delete new_leaf;  // never published
+            delete internal;
+            // Help a delete that flagged/tagged this edge before retrying.
+            Node* val = child_addr->load(std::memory_order_seq_cst);
+            if (get_unmarked(val) == leaf && (is_marked(val) || is_flagged(val))) {
+                cleanup(key, sr);
+            }
+        }
+    }
+
+    bool remove(K key) {
+        gc_.begin_op();
+        bool injecting = true;
+        Node* leaf = nullptr;
+        while (true) {
+            SeekRecord sr = seek(key);
+            if (injecting) {
+                if (sr.leaf->key != key) {
+                    gc_.end_op();
+                    return false;
+                }
+                leaf = sr.leaf;
+                Node* parent = sr.parent;
+                std::atomic<Node*>* child_addr =
+                    (key < parent->key) ? &parent->left : &parent->right;
+                Node* expected = leaf;
+                if (child_addr->compare_exchange_strong(expected, get_marked(leaf),
+                                                        std::memory_order_seq_cst)) {
+                    injecting = false;  // flag planted: the delete will happen
+                    if (cleanup(key, sr)) {
+                        gc_.end_op();
+                        return true;
+                    }
+                } else {
+                    Node* val = child_addr->load(std::memory_order_seq_cst);
+                    if (get_unmarked(val) == leaf && (is_marked(val) || is_flagged(val))) {
+                        cleanup(key, sr);  // help, then retry injection
+                    }
+                }
+            } else {
+                if (sr.leaf != leaf) {
+                    gc_.end_op();  // someone completed our cleanup
+                    return true;
+                }
+                if (cleanup(key, sr)) {
+                    gc_.end_op();
+                    return true;
+                }
+            }
+        }
+    }
+
+    bool contains(K key) {
+        gc_.begin_op();
+        const bool found = seek(key).leaf->key == key;
+        gc_.end_op();
+        return found;
+    }
+
+    Reclaimer& reclaimer() noexcept { return gc_; }
+    static constexpr const char* scheme_name() noexcept { return Reclaimer::kName; }
+
+  private:
+    struct SeekRecord {
+        Node* ancestor;
+        Node* successor;
+        Node* parent;
+        Node* leaf;
+    };
+
+    /// Descends to the leaf on key's search path, recording the deepest
+    /// untagged edge (ancestor -> successor) for cleanup's swing.
+    SeekRecord seek(K key) {
+        SeekRecord sr;
+        sr.ancestor = root_;
+        sr.successor = get_unmarked(gc_.get_protected(root_->left, 0));
+        sr.parent = sr.successor;  // S
+        Node* parent_field = gc_.get_protected(sr.parent->left, 0);
+        sr.leaf = get_unmarked(parent_field);
+        Node* current_field = gc_.get_protected(
+            (key < sr.leaf->key) ? sr.leaf->left : sr.leaf->right, 0);
+        Node* current = get_unmarked(current_field);
+        while (current != nullptr) {
+            if (!is_flagged(parent_field)) {  // edge into parent was untagged
+                sr.ancestor = sr.parent;
+                sr.successor = sr.leaf;
+            }
+            sr.parent = sr.leaf;
+            sr.leaf = current;
+            parent_field = current_field;
+            current_field = gc_.get_protected(
+                (key < current->key) ? current->left : current->right, 0);
+            current = get_unmarked(current_field);
+        }
+        return sr;
+    }
+
+    /// Completes (or helps complete) the delete whose flag sits under
+    /// sr.parent: tags the sibling edge and swings the ancestor edge to the
+    /// sibling. Returns true iff this call performed the swing.
+    bool cleanup(K key, const SeekRecord& sr) {
+        Node* ancestor = sr.ancestor;
+        Node* parent = sr.parent;
+        std::atomic<Node*>* ancestor_field =
+            (key < ancestor->key) ? &ancestor->left : &ancestor->right;
+        std::atomic<Node*>* key_side = (key < parent->key) ? &parent->left : &parent->right;
+        std::atomic<Node*>* other_side = (key < parent->key) ? &parent->right : &parent->left;
+        // The delete's flag sits on the edge into the doomed leaf; if the key
+        // side is not flagged we are helping a delete that targets the other
+        // side, and the edge we must tag is the key side.
+        const bool key_side_flagged = is_marked(key_side->load(std::memory_order_seq_cst));
+        std::atomic<Node*>* doomed_addr = key_side_flagged ? key_side : other_side;
+        std::atomic<Node*>* sibling_addr = key_side_flagged ? other_side : key_side;
+        // Tag the sibling edge (freeze the parent against insertions there).
+        Node* sib;
+        while (true) {
+            Node* v = sibling_addr->load(std::memory_order_seq_cst);
+            if (is_flagged(v)) {
+                sib = v;
+                break;
+            }
+            if (sibling_addr->compare_exchange_strong(v, get_flagged(v),
+                                                      std::memory_order_seq_cst)) {
+                sib = get_flagged(v);
+                break;
+            }
+        }
+        // Swing: ancestor edge jumps from successor to the sibling, keeping
+        // the sibling's own deletion flag (bit 0) if it had one.
+        Node* doomed = get_unmarked(doomed_addr->load(std::memory_order_seq_cst));
+        Node* desired = is_marked(sib) ? get_marked(get_unmarked(sib)) : get_unmarked(sib);
+        Node* expected = sr.successor;
+        if (!ancestor_field->compare_exchange_strong(expected, desired,
+                                                     std::memory_order_seq_cst)) {
+            return false;
+        }
+        // The swing bypassed the chain successor -> ... -> parent plus the
+        // doomed leaf. Every edge inside the chain is tagged (that is why the
+        // chain exists) or flagged, and tagged/flagged edges are frozen
+        // forever, so the winner of the swing — and only the winner; a tree
+        // node has a single incoming edge — can walk the chain and retire
+        // every interior node together with the flagged leaf hanging off it
+        // (the pending delete that tagged the edge can never win its own
+        // swing: its deepest untagged ancestor edge was the one we just
+        // changed).
+        Node* node = sr.successor;
+        while (node != parent) {
+            Node* path_child = (key < node->key)
+                                   ? node->left.load(std::memory_order_seq_cst)
+                                   : node->right.load(std::memory_order_seq_cst);
+            Node* off_path = (key < node->key)
+                                 ? node->right.load(std::memory_order_seq_cst)
+                                 : node->left.load(std::memory_order_seq_cst);
+            gc_.retire(get_unmarked(off_path));  // doomed leaf of the delete pending here
+            gc_.retire(node);
+            node = get_unmarked(path_child);
+        }
+        gc_.retire(doomed);
+        gc_.retire(parent);
+        return true;
+    }
+
+    void destroy(Node* node) {
+        if (node == nullptr) return;
+        destroy(get_unmarked(node->left.load(std::memory_order_relaxed)));
+        destroy(get_unmarked(node->right.load(std::memory_order_relaxed)));
+        delete node;
+    }
+
+    Node* root_;
+    Reclaimer gc_;
+};
+
+}  // namespace orcgc

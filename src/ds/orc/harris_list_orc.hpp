@@ -1,0 +1,125 @@
+// Harris's original lock-free linked list (DISC 2001) with OrcGC.
+//
+// This is the paper's "obstacle 2" example (§2): Harris traversals walk
+// *through* logically-deleted (marked) nodes and unlink whole marked chains
+// with one CAS, so removed nodes' next pointers must stay intact and
+// followable after removal — which rules out HP/PTB/HE-style manual schemes
+// (a traversal may hold a pointer to a node that was already retired by
+// another thread). Under OrcGC the chain nodes stay alive exactly as long
+// as some hard link or local reference can still reach them, so the original
+// algorithm runs unmodified, with type annotation only.
+#pragma once
+
+#include <utility>
+
+#include "common/alloc_tracker.hpp"
+#include "common/marked_ptr.hpp"
+#include "core/orc.hpp"
+
+namespace orcgc {
+
+template <typename K>
+class HarrisListOrc {
+  public:
+    struct Node : orc_base, TrackedObject {
+        const K key;
+        orc_atomic<Node*> next{nullptr};
+        explicit Node(K k) : key(k) {}
+    };
+
+    HarrisListOrc() {
+        // Head sentinel (conceptually key = -inf); never marked, never removed.
+        orc_ptr<Node*> sentinel = make_orc<Node>(K{});
+        head_.store(sentinel);
+    }
+
+    HarrisListOrc(const HarrisListOrc&) = delete;
+    HarrisListOrc& operator=(const HarrisListOrc&) = delete;
+    ~HarrisListOrc() = default;  // cascade from head_
+
+    bool insert(K key) {
+        orc_ptr<Node*> node = make_orc<Node>(key);
+        while (true) {
+            Window w = search(key);
+            if (w.right && w.right->key == key) return false;
+            node->next.store(w.right);
+            if (w.left->next.cas(w.right, node)) return true;
+        }
+    }
+
+    bool remove(K key) {
+        while (true) {
+            Window w = search(key);
+            if (!w.right || w.right->key != key) return false;
+            orc_ptr<Node*> right_next = w.right->next.load();
+            if (right_next.is_marked()) continue;  // someone else is deleting it
+            // Logical delete.
+            if (!w.right->next.cas(right_next, get_marked(right_next.get()))) continue;
+            // Physical unlink (best effort — a later search cleans up).
+            if (!w.left->next.cas(w.right, right_next)) {
+                search(key);
+            }
+            return true;
+        }
+    }
+
+    bool contains(K key) {
+        Window w = search(key);
+        return w.right && w.right->key == key;
+    }
+
+  private:
+    struct Window {
+        orc_ptr<Node*> left;   // last unmarked node with key < target
+        orc_ptr<Node*> right;  // first unmarked node with key >= target (may be null)
+    };
+
+    /// Harris's search: find (left, right) and unlink any marked chain
+    /// between them with a single CAS on left->next. Retry via helper-return,
+    /// never a backward goto over orc_ptr declarations (gcc NRVO+goto
+    /// destructor bug — see michael_list_orc.hpp).
+    Window search(K key) {
+        while (true) {
+            Window w;
+            if (search_attempt(key, w)) return w;
+        }
+    }
+
+    bool search_attempt(K key, Window& w) {
+        w.left = head_.load();          // sentinel: always unmarked
+        orc_ptr<Node*> left_next = w.left->next.load();
+        orc_ptr<Node*> t = left_next;   // traversal cursor (may hit marked nodes)
+        while (true) {
+            if (!t) {
+                w.right = nullptr;
+                break;
+            }
+            t.unmark();
+            orc_ptr<Node*> t_next = t->next.load();  // t's mark lives in t_next
+            if (!t_next.is_marked()) {
+                if (!(t->key < key)) {
+                    w.right = t;
+                    break;
+                }
+                w.left = t;
+                left_next = t_next;
+            }
+            // Walk through marked nodes without updating left: their next
+            // pointers are frozen in place and remain followable (obstacle 2).
+            t = std::move(t_next);
+        }
+        // Is there a marked chain between left and right?
+        if (left_next.get() == w.right.get()) {
+            // Clean window — but re-check right was not marked meanwhile.
+            return !(w.right && w.right->next.load().is_marked());
+        }
+        // Unlink the whole chain [left_next, right) in one CAS; the displaced
+        // chain is reclaimed automatically as its nodes lose referents.
+        if (!w.left->next.cas(left_next, w.right)) return false;
+        return !(w.right && w.right->next.load().is_marked());
+    }
+
+    orc_atomic<Node*> head_;
+};
+
+}  // namespace orcgc

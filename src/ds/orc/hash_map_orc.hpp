@@ -1,0 +1,57 @@
+// Michael-style lock-free hash set over OrcGC list buckets (SPAA 2002 —
+// the paper the Michael list comes from is literally about these hash
+// tables; the list is its building block).
+//
+// Each bucket is a MichaelListOrc, which carries no per-instance reclaimer
+// state (the OrcGC engine is process-wide), so a bucket costs one
+// orc_atomic head — 8 bytes — and the table scales to many buckets. This is
+// the "many short chains" complement to the paper's single 10^3-key list
+// benchmark, and an integration test bed combining the annotation-based
+// list with dense fan-out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ds/orc/michael_list_orc.hpp"
+
+namespace orcgc {
+
+/// Fibonacci (golden-ratio) multiplicative hash: cheap and well-distributed
+/// for the dense integer keys the benchmarks use.
+inline std::uint64_t mix_hash(std::uint64_t key) noexcept {
+    const std::uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+    return h ^ (h >> 32);
+}
+
+template <typename K>
+class HashMapOrc {
+  public:
+    explicit HashMapOrc(std::size_t buckets = 1024)
+        : mask_(round_up_pow2(buckets) - 1), buckets_(mask_ + 1) {}
+
+    HashMapOrc(const HashMapOrc&) = delete;
+    HashMapOrc& operator=(const HashMapOrc&) = delete;
+
+    bool insert(K key) { return bucket(key).insert(key); }
+    bool remove(K key) { return bucket(key).remove(key); }
+    bool contains(K key) { return bucket(key).contains(key); }
+
+    std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  private:
+    static std::size_t round_up_pow2(std::size_t n) {
+        std::size_t p = 1;
+        while (p < n) p <<= 1;
+        return p;
+    }
+
+    MichaelListOrc<K>& bucket(K key) {
+        return buckets_[mix_hash(static_cast<std::uint64_t>(key)) & mask_];
+    }
+
+    const std::size_t mask_;
+    std::vector<MichaelListOrc<K>> buckets_;
+};
+
+}  // namespace orcgc

@@ -1,0 +1,120 @@
+// Herlihy–Shavit lock-free list with wait-free lookups ("The Art of
+// Multiprocessor Programming", ch. 9) under OrcGC.
+//
+// Insert/remove are Michael-style (restarting find that physically unlinks
+// marked nodes); contains() is a single forward pass that never restarts and
+// never writes — it walks straight through logically-deleted nodes. That
+// wait-free guarantee requires removed nodes to stay allocated and their
+// next pointers frozen while any traversal can still reach them, which is
+// the paper's obstacle 2: no manual lock-free scheme in Table 1 supports it,
+// OrcGC does.
+#pragma once
+
+#include <utility>
+
+#include "common/alloc_tracker.hpp"
+#include "common/marked_ptr.hpp"
+#include "core/orc.hpp"
+
+namespace orcgc {
+
+template <typename K>
+class HSListOrc {
+  public:
+    struct Node : orc_base, TrackedObject {
+        const K key;
+        orc_atomic<Node*> next{nullptr};
+        explicit Node(K k) : key(k) {}
+    };
+
+    HSListOrc() = default;
+    HSListOrc(const HSListOrc&) = delete;
+    HSListOrc& operator=(const HSListOrc&) = delete;
+    ~HSListOrc() = default;
+
+    bool insert(K key) {
+        orc_ptr<Node*> node = make_orc<Node>(key);
+        while (true) {
+            Window w = find(key);
+            if (w.found) return false;
+            node->next.store(w.curr);
+            if (w.prev_link->cas(w.curr, node)) return true;
+        }
+    }
+
+    bool remove(K key) {
+        while (true) {
+            Window w = find(key);
+            if (!w.found) return false;
+            if (!w.curr->next.cas(w.next, get_marked(w.next.get()))) continue;
+            if (!w.prev_link->cas(w.curr, w.next)) find(key);
+            return true;
+        }
+    }
+
+    /// Wait-free lookup: one pass, no restarts, no helping. Keys are strictly
+    /// increasing along the walk (marked nodes keep their frozen successor),
+    /// so the loop terminates after at most |list| steps.
+    bool contains(K key) {
+        orc_ptr<Node*> curr = head_.load();
+        curr.unmark();
+        while (curr && curr->key < key) {
+            orc_ptr<Node*> next = curr->next.load();
+            curr = std::move(next);
+            curr.unmark();
+        }
+        if (!curr || curr->key != key) return false;
+        // Present iff not logically deleted.
+        return !curr->next.load().is_marked();
+    }
+
+  private:
+    struct Window {
+        orc_atomic<Node*>* prev_link;
+        orc_ptr<Node*> prev;
+        orc_ptr<Node*> curr;
+        orc_ptr<Node*> next;
+        bool found = false;
+    };
+
+    // Retry via loops/helper-returns, never a backward goto over orc_ptr
+    // declarations (gcc NRVO+goto destructor bug — see michael_list_orc.hpp).
+    Window find(K key) {
+        while (true) {
+            Window w;
+            if (find_attempt(key, w)) return w;
+        }
+    }
+
+    bool find_attempt(K key, Window& w) {
+        w.prev = nullptr;
+        w.prev_link = &head_;
+        w.curr = w.prev_link->load();
+        if (w.curr.is_marked()) return false;
+        while (true) {
+            if (!w.curr) {
+                w.found = false;
+                return true;
+            }
+            w.next = w.curr->next.load();
+            if (w.prev_link->load_unsafe() != w.curr.get()) return false;
+            if (!w.next.is_marked()) {
+                if (!(w.curr->key < key)) {
+                    w.found = (w.curr->key == key);
+                    return true;
+                }
+                w.prev = std::move(w.curr);
+                w.prev_link = &w.prev->next;
+                w.curr = std::move(w.next);
+            } else {
+                w.next.unmark();
+                if (!w.prev_link->cas(w.curr, w.next)) return false;
+                w.curr = std::move(w.next);
+            }
+        }
+    }
+
+    orc_atomic<Node*> head_;
+};
+
+}  // namespace orcgc

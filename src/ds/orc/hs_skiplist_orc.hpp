@@ -1,0 +1,203 @@
+// Herlihy–Shavit lock-free skip list ("The Art of Multiprocessor
+// Programming", ch. 14; based on Fraser's skip list) with OrcGC.
+//
+// The paper ports exactly this algorithm (§5): contains() descends from the
+// top level to the bottom without ever restarting, stepping over marked
+// nodes — so removed nodes must stay allocated, keep their next pointers
+// intact, and may form arbitrarily long chains of removed nodes that still
+// reference each other and the live list. Under OrcGC this is safe but
+// expensive in memory: a removed node is only reclaimed after every marked
+// link to it is lazily snipped by some later traversal. This is the
+// structure behind the paper's 19 GB-footprint observation, which CRF-skip
+// (crf_skiplist_orc.hpp) was designed to fix.
+//
+// A half-inserted node can be unlinked by a remover and then re-linked by
+// its inserter finishing the upper levels — the paper's obstacle 3
+// (re-insertion), which only OrcGC/FreeAccess tolerate.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/alloc_tracker.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/rng.hpp"
+#include "core/orc.hpp"
+
+namespace orcgc {
+
+inline constexpr int kSkipListMaxLevel = 16;
+
+/// Geometric level draw (p = 1/2), capped at kSkipListMaxLevel - 1.
+inline int random_skiplist_level(Xoshiro256& rng) {
+    const std::uint64_t bits = rng.next();
+    int level = 0;
+    while (level < kSkipListMaxLevel - 1 && ((bits >> level) & 1u)) ++level;
+    return level;
+}
+
+template <typename K>
+class HSSkipListOrc {
+  public:
+    struct Node : orc_base, TrackedObject {
+        enum class Rank : std::uint8_t { kHead, kNormal, kTail };
+        const K key;
+        const Rank rank;
+        const int top_level;
+        orc_atomic<Node*> next[kSkipListMaxLevel];
+
+        Node(K k, Rank r, int top) : key(k), rank(r), top_level(top) {}
+
+        /// Strict ordering with sentinels below/above every user key.
+        bool precedes(K other) const noexcept {
+            if (rank == Rank::kHead) return true;
+            if (rank == Rank::kTail) return false;
+            return key < other;
+        }
+        bool equals(K other) const noexcept { return rank == Rank::kNormal && key == other; }
+    };
+
+    HSSkipListOrc() {
+        orc_ptr<Node*> head = make_orc<Node>(K{}, Node::Rank::kHead, kSkipListMaxLevel - 1);
+        orc_ptr<Node*> tail = make_orc<Node>(K{}, Node::Rank::kTail, kSkipListMaxLevel - 1);
+        for (int level = 0; level < kSkipListMaxLevel; ++level) head->next[level].store(tail);
+        head_.store(head);
+    }
+
+    HSSkipListOrc(const HSSkipListOrc&) = delete;
+    HSSkipListOrc& operator=(const HSSkipListOrc&) = delete;
+    ~HSSkipListOrc() = default;  // cascade from head_
+
+    bool insert(K key) {
+        const int top = random_skiplist_level(tl_rng());
+        orc_ptr<Node*> node = make_orc<Node>(key, Node::Rank::kNormal, top);
+        orc_ptr<Node*> preds[kSkipListMaxLevel];
+        orc_ptr<Node*> succs[kSkipListMaxLevel];
+        while (true) {
+            if (find(key, preds, succs)) return false;  // node auto-reclaimed
+            for (int level = 0; level <= top; ++level) node->next[level].store(succs[level]);
+            // Link at the bottom level: this is the linearization point.
+            if (!preds[0]->next[0].cas(succs[0], node)) continue;
+            // Link the upper levels; a concurrent remove may mark the node
+            // half-way (obstacle 3) — then we simply stop linking.
+            for (int level = 1; level <= top; ++level) {
+                while (true) {
+                    orc_ptr<Node*> cur = node->next[level].load();
+                    if (cur.is_marked()) return true;  // being removed already
+                    if (cur.get() != succs[level].get() &&
+                        !node->next[level].cas(cur, succs[level])) {
+                        continue;  // re-read; maybe it got marked
+                    }
+                    if (preds[level]->next[level].cas(succs[level], node)) break;
+                    find(key, preds, succs);  // refresh the window
+                    if (succs[level].get() == node.get()) break;  // already linked by shape
+                }
+            }
+            return true;
+        }
+    }
+
+    bool remove(K key) {
+        orc_ptr<Node*> preds[kSkipListMaxLevel];
+        orc_ptr<Node*> succs[kSkipListMaxLevel];
+        if (!find(key, preds, succs)) return false;
+        orc_ptr<Node*> victim = succs[0];
+        // Mark the upper levels top-down.
+        for (int level = victim->top_level; level >= 1; --level) {
+            orc_ptr<Node*> succ = victim->next[level].load();
+            while (!succ.is_marked()) {
+                victim->next[level].cas(succ, get_marked(succ.get()));
+                succ = victim->next[level].load();
+            }
+        }
+        // The bottom-level mark decides who "owns" the removal.
+        while (true) {
+            orc_ptr<Node*> succ = victim->next[0].load();
+            if (succ.is_marked()) return false;  // someone else won
+            if (victim->next[0].cas(succ, get_marked(succ.get()))) {
+                find(key, preds, succs);  // snip lazily on the way
+                return true;
+            }
+        }
+    }
+
+    /// Top-to-bottom descent without restarts: steps over marked nodes and
+    /// never writes. Removed nodes stay followable (obstacle 2).
+    bool contains(K key) {
+        orc_ptr<Node*> pred = head_.load();
+        orc_ptr<Node*> curr;
+        for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+            curr = pred->next[level].load();
+            curr.unmark();
+            while (true) {
+                orc_ptr<Node*> succ = curr->next[level].load();
+                while (succ.is_marked()) {  // skip over removed nodes
+                    curr = std::move(succ);
+                    curr.unmark();
+                    succ = curr->next[level].load();
+                }
+                if (curr->precedes(key)) {
+                    pred = std::move(curr);
+                    curr = std::move(succ);
+                    curr.unmark();
+                } else {
+                    break;
+                }
+            }
+        }
+        return curr->equals(key);
+    }
+
+  private:
+    static Xoshiro256& tl_rng() {
+        static thread_local Xoshiro256 rng(0xC0FFEE ^ (std::uint64_t)thread_id());
+        return rng;
+    }
+
+    /// Book-style find: locates the window at every level, physically
+    /// unlinking (snipping) marked nodes it encounters; restarts when a snip
+    /// races. Fills preds/succs for [0, kSkipListMaxLevel). Retry via
+    /// helper-return, never a backward goto over orc_ptr declarations (gcc
+    /// NRVO+goto destructor bug — see michael_list_orc.hpp).
+    bool find(K key, orc_ptr<Node*>* preds, orc_ptr<Node*>* succs) {
+        while (true) {
+            const int result = find_attempt(key, preds, succs);
+            if (result >= 0) return result != 0;
+        }
+    }
+
+    /// -1 = retry, 0 = not found, 1 = found.
+    int find_attempt(K key, orc_ptr<Node*>* preds, orc_ptr<Node*>* succs) {
+        orc_ptr<Node*> pred = head_.load();
+        orc_ptr<Node*> curr;
+        for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
+            curr = pred->next[level].load();
+            curr.unmark();
+            while (true) {
+                orc_ptr<Node*> succ = curr->next[level].load();
+                while (succ.is_marked()) {
+                    // curr is logically deleted at this level: snip it.
+                    succ.unmark();
+                    if (!pred->next[level].cas(curr, succ)) return -1;
+                    curr = pred->next[level].load();
+                    if (curr.is_marked()) return -1;  // pred got marked too
+                    succ = curr->next[level].load();
+                }
+                if (curr->precedes(key)) {
+                    pred = curr;
+                    curr = std::move(succ);
+                    curr.unmark();
+                } else {
+                    break;
+                }
+            }
+            preds[level] = pred;
+            succs[level] = curr;
+        }
+        return curr->equals(key) ? 1 : 0;
+    }
+
+    orc_atomic<Node*> head_;
+};
+
+}  // namespace orcgc

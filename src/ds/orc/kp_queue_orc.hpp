@@ -1,0 +1,206 @@
+// Kogan–Petrank wait-free MPMC queue (PPoPP 2011) with OrcGC.
+//
+// The paper's "obstacle 1" example (§2): every operation is published as an
+// immutable OpDesc in a per-thread state array and completed cooperatively
+// by helpers in phase order, so a node (and each OpDesc) can be unlinked by
+// *any* thread at *no* fixed program point — there is no place to put a
+// retire() call, which rules out every manual scheme in Table 1. With OrcGC
+// the descriptors and nodes are hard-linked from the state array / queue and
+// vanish automatically when the last link and local reference drop.
+//
+// Faithful to the published algorithm, with one simplification: maxPhase is
+// a fetch-add counter instead of a scan over the state array (same ordering
+// guarantees, fewer loads).
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "common/alloc_tracker.hpp"
+#include "common/thread_registry.hpp"
+#include "core/orc.hpp"
+
+namespace orcgc {
+
+template <typename T>
+class KPQueueOrc {
+    struct Node : orc_base, TrackedObject {
+        T value;
+        orc_atomic<Node*> next{nullptr};
+        const int enq_tid;
+        std::atomic<int> deq_tid{-1};
+        Node() : value{}, enq_tid(-1) {}
+        Node(T v, int etid) : value(std::move(v)), enq_tid(etid) {}
+    };
+
+    /// Immutable operation descriptor; replaced (never mutated) via CAS.
+    struct OpDesc : orc_base, TrackedObject {
+        const long phase;
+        const bool pending;
+        const bool enqueue;
+        orc_atomic<Node*> node;  // hard link to the op's node (or null)
+        OpDesc(long ph, bool pend, bool enq, Node* n) : phase(ph), pending(pend), enqueue(enq) {
+            if (n != nullptr) node.store(n);
+        }
+    };
+
+  public:
+    KPQueueOrc() {
+        orc_ptr<Node*> sentinel = make_orc<Node>();
+        head_.store(sentinel);
+        tail_.store(sentinel);
+    }
+
+    KPQueueOrc(const KPQueueOrc&) = delete;
+    KPQueueOrc& operator=(const KPQueueOrc&) = delete;
+    ~KPQueueOrc() = default;  // state_/head_/tail_ destructors cascade
+
+    void enqueue(T value) {
+        const int tid = thread_id();
+        const long phase = max_phase_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        orc_ptr<Node*> node = make_orc<Node>(std::move(value), tid);
+        orc_ptr<OpDesc*> desc = make_orc<OpDesc>(phase, true, true, node.get());
+        state_[tid].store(desc);
+        help(phase);
+        help_finish_enqueue();
+    }
+
+    std::optional<T> dequeue() {
+        const int tid = thread_id();
+        const long phase = max_phase_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        orc_ptr<OpDesc*> desc = make_orc<OpDesc>(phase, true, false, nullptr);
+        state_[tid].store(desc);
+        help(phase);
+        // Make sure the head has swung past the sentinel this op claimed
+        // before returning — otherwise our own next dequeue could re-claim it.
+        help_finish_dequeue();
+        orc_ptr<OpDesc*> final_desc = state_[tid].load();
+        orc_ptr<Node*> node = final_desc->node.load();
+        if (node == nullptr) return std::nullopt;  // linearized on empty
+        // `node` is the pre-dequeue sentinel; the taken value sits in its
+        // successor (immutable once linked).
+        orc_ptr<Node*> succ = node->next.load();
+        return succ->value;
+    }
+
+    bool empty() {
+        orc_ptr<Node*> first = head_.load();
+        return first->next.load() == nullptr;
+    }
+
+  private:
+    bool is_still_pending(int tid, long phase) {
+        orc_ptr<OpDesc*> desc = state_[tid].load();
+        return desc != nullptr && desc->pending && desc->phase <= phase;
+    }
+
+    /// Completes every pending operation with phase <= `phase` (wait-free
+    /// helping: later ops help earlier ones).
+    void help(long phase) {
+        const int wm = thread_id_watermark();
+        for (int i = 0; i < wm; ++i) {
+            orc_ptr<OpDesc*> desc = state_[i].load();
+            if (desc == nullptr || !desc->pending || desc->phase > phase) continue;
+            if (desc->enqueue) {
+                help_enqueue(i, desc->phase);
+            } else {
+                help_dequeue(i, desc->phase);
+            }
+        }
+    }
+
+    void help_enqueue(int tid, long phase) {
+        while (is_still_pending(tid, phase)) {
+            orc_ptr<Node*> last = tail_.load();
+            orc_ptr<Node*> next = last->next.load();
+            if (last.get() != tail_.load_unsafe()) continue;
+            if (next == nullptr) {  // queue tail is settled: try to link
+                if (!is_still_pending(tid, phase)) return;
+                orc_ptr<OpDesc*> desc = state_[tid].load();
+                if (desc == nullptr || !desc->pending || desc->phase > phase) continue;
+                orc_ptr<Node*> node = desc->node.load();
+                if (last->next.cas(nullptr, node)) {
+                    help_finish_enqueue();
+                    return;
+                }
+            } else {
+                help_finish_enqueue();  // tail lagging: finish the other op
+            }
+        }
+    }
+
+    void help_finish_enqueue() {
+        orc_ptr<Node*> last = tail_.load();
+        orc_ptr<Node*> next = last->next.load();
+        if (next == nullptr) return;
+        const int tid = next->enq_tid;
+        if (tid < 0) return;
+        orc_ptr<OpDesc*> cur_desc = state_[tid].load();
+        if (last.get() != tail_.load_unsafe() || cur_desc == nullptr) return;
+        if (cur_desc->node.load_unsafe() != next.get()) return;
+        orc_ptr<OpDesc*> new_desc =
+            make_orc<OpDesc>(cur_desc->phase, false, true, next.get());
+        state_[tid].cas(cur_desc, new_desc);
+        tail_.cas(last, next);
+    }
+
+    void help_dequeue(int tid, long phase) {
+        while (is_still_pending(tid, phase)) {
+            orc_ptr<Node*> first = head_.load();
+            orc_ptr<Node*> last = tail_.load();
+            orc_ptr<Node*> next = first->next.load();
+            if (first.get() != head_.load_unsafe()) continue;
+            if (first.get() == last.get()) {
+                if (next == nullptr) {  // queue empty: linearize the failure
+                    orc_ptr<OpDesc*> cur_desc = state_[tid].load();
+                    if (cur_desc == nullptr || !cur_desc->pending || cur_desc->phase > phase) {
+                        return;
+                    }
+                    if (last.get() != tail_.load_unsafe()) continue;
+                    orc_ptr<OpDesc*> new_desc =
+                        make_orc<OpDesc>(cur_desc->phase, false, false, nullptr);
+                    state_[tid].cas(cur_desc, new_desc);
+                } else {
+                    help_finish_enqueue();  // tail lagging
+                }
+            } else {
+                orc_ptr<OpDesc*> cur_desc = state_[tid].load();
+                if (cur_desc == nullptr || !cur_desc->pending || cur_desc->phase > phase) return;
+                orc_ptr<Node*> node = cur_desc->node.load();
+                if (first.get() != head_.load_unsafe()) continue;
+                if (node.get() != first.get()) {
+                    // Announce which sentinel this dequeue will consume.
+                    orc_ptr<OpDesc*> new_desc =
+                        make_orc<OpDesc>(cur_desc->phase, true, false, first.get());
+                    if (!state_[tid].cas(cur_desc, new_desc)) continue;
+                }
+                int expected = -1;
+                first->deq_tid.compare_exchange_strong(expected, tid,
+                                                       std::memory_order_seq_cst);
+                help_finish_dequeue();
+            }
+        }
+    }
+
+    void help_finish_dequeue() {
+        orc_ptr<Node*> first = head_.load();
+        orc_ptr<Node*> next = first->next.load();
+        const int tid = first->deq_tid.load(std::memory_order_seq_cst);
+        if (tid == -1) return;
+        orc_ptr<OpDesc*> cur_desc = state_[tid].load();
+        if (first.get() != head_.load_unsafe() || next == nullptr) return;
+        if (cur_desc == nullptr) return;
+        orc_ptr<OpDesc*> new_desc = make_orc<OpDesc>(
+            cur_desc->phase, false, false, cur_desc->node.load_unsafe());
+        state_[tid].cas(cur_desc, new_desc);
+        head_.cas(first, next);
+    }
+
+    orc_atomic<Node*> head_;
+    orc_atomic<Node*> tail_;
+    orc_atomic<OpDesc*> state_[kMaxThreads] = {};
+    std::atomic<long> max_phase_{0};
+};
+
+}  // namespace orcgc

@@ -1,0 +1,210 @@
+// LCRQ — Morrison & Afek's linked concurrent ring queue (PPoPP 2013) with
+// OrcGC reclaiming the ring segments.
+//
+// A CRQ is a fixed-size ring of (value, index) cells operated with
+// fetch-and-add on head/tail and double-width CAS on the cells; when a ring
+// closes (full or starved), a fresh ring is linked behind it, Michael–Scott
+// style. Reclamation applies at segment granularity: a drained segment is
+// unlinked by the head CAS and OrcGC frees it once the last in-flight
+// FAA-holder drops its reference — the case that usually needs hazard
+// pointers around the segment list is covered by plain type annotation.
+//
+// The 16-byte cell CAS compiles to cmpxchg16b (libatomic dispatches at
+// runtime); the paper's Table 1 lists LCRQ-style DWCAS among the atomic
+// primitives a scheme may rely on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "common/alloc_tracker.hpp"
+#include "common/cacheline.hpp"
+#include "core/orc.hpp"
+
+namespace orcgc {
+
+template <typename T, std::size_t kRingOrder = 10>
+class LCRQOrc {
+    static_assert(std::is_integral_v<T> && sizeof(T) <= 8,
+                  "LCRQOrc stores values in ring cells; use integral payloads "
+                  "(or pointers cast to uintptr_t)");
+    static constexpr std::size_t kRingSize = std::size_t{1} << kRingOrder;
+    static constexpr std::uint64_t kClosedBit = 1ULL << 63;
+    static constexpr std::uint64_t kUnsafeBit = 1ULL << 63;  // on cell idx
+    static constexpr std::uint64_t kEmptyVal = 0;
+    static constexpr int kStarvationLimit = 16;
+
+    struct alignas(16) Cell {
+        std::uint64_t val;       // kEmptyVal or encoded value (v + 1)
+        std::uint64_t idx_safe;  // ring index; MSB set = "unsafe"
+        bool operator==(const Cell&) const = default;
+    };
+
+    struct Ring : orc_base, TrackedObject {
+        alignas(kCacheLineSize) std::atomic<std::uint64_t> head{0};
+        alignas(kCacheLineSize) std::atomic<std::uint64_t> tail{0};  // MSB = closed
+        orc_atomic<Ring*> next{nullptr};
+        alignas(kCacheLineSize) std::atomic<Cell> cells[kRingSize];
+
+        Ring() {
+            for (std::size_t i = 0; i < kRingSize; ++i) {
+                cells[i].store(Cell{kEmptyVal, i}, std::memory_order_relaxed);
+            }
+        }
+        /// Ring created with one value already enqueued (new tail segment).
+        explicit Ring(std::uint64_t first) : Ring() {
+            cells[0].store(Cell{first, 0}, std::memory_order_relaxed);
+            tail.store(1, std::memory_order_relaxed);
+        }
+
+        static std::uint64_t node_index(std::uint64_t i) { return i & ~kUnsafeBit; }
+        static bool node_unsafe(std::uint64_t i) { return (i & kUnsafeBit) != 0; }
+
+        bool closed() const { return (tail.load(std::memory_order_seq_cst) & kClosedBit) != 0; }
+        void close() { tail.fetch_or(kClosedBit, std::memory_order_seq_cst); }
+
+        /// CRQ enqueue; returns false iff the ring is (now) closed.
+        bool enqueue(std::uint64_t encoded) {
+            int starvation = 0;
+            while (true) {
+                const std::uint64_t t_raw = tail.fetch_add(1, std::memory_order_seq_cst);
+                if (t_raw & kClosedBit) return false;
+                const std::uint64_t t = t_raw;
+                auto& cell = cells[t & (kRingSize - 1)];
+                Cell c = cell.load(std::memory_order_seq_cst);
+                const std::uint64_t idx = node_index(c.idx_safe);
+                if (c.val == kEmptyVal && idx <= t &&
+                    (!node_unsafe(c.idx_safe) || head.load(std::memory_order_seq_cst) <= t)) {
+                    if (cell.compare_exchange_strong(c, Cell{encoded, t},
+                                                     std::memory_order_seq_cst)) {
+                        return true;
+                    }
+                }
+                // Full or starving: close the ring and fall over to a new one.
+                const std::uint64_t h = head.load(std::memory_order_seq_cst);
+                if (t - h >= kRingSize || ++starvation >= kStarvationLimit) {
+                    close();
+                    return false;
+                }
+            }
+        }
+
+        /// CRQ dequeue; nullopt = ring observed empty.
+        std::optional<std::uint64_t> dequeue() {
+            while (true) {
+                const std::uint64_t h = head.fetch_add(1, std::memory_order_seq_cst);
+                auto& cell = cells[h & (kRingSize - 1)];
+                while (true) {
+                    Cell c = cell.load(std::memory_order_seq_cst);
+                    const std::uint64_t idx = node_index(c.idx_safe);
+                    const bool unsafe = node_unsafe(c.idx_safe);
+                    if (idx > h) break;  // cell already recycled past us
+                    if (c.val != kEmptyVal) {
+                        if (idx == h) {  // our value: take it, recycle the cell
+                            if (cell.compare_exchange_strong(
+                                    c, Cell{kEmptyVal, (h + kRingSize) | (unsafe ? kUnsafeBit : 0)},
+                                    std::memory_order_seq_cst)) {
+                                return c.val;
+                            }
+                        } else {  // an older enqueue is stuck here: mark unsafe
+                            if (cell.compare_exchange_strong(
+                                    c, Cell{c.val, idx | kUnsafeBit},
+                                    std::memory_order_seq_cst)) {
+                                break;
+                            }
+                        }
+                    } else {  // empty cell: advance its index so a slow
+                              // enqueuer for index <= h cannot use it
+                        if (cell.compare_exchange_strong(
+                                c, Cell{kEmptyVal,
+                                        (h + kRingSize) | (unsafe ? kUnsafeBit : 0)},
+                                std::memory_order_seq_cst)) {
+                            break;
+                        }
+                    }
+                }
+                // Empty check (tail <= h+1 means nothing left to take).
+                const std::uint64_t t = tail.load(std::memory_order_seq_cst) & ~kClosedBit;
+                if (t <= h + 1) {
+                    fix_state();
+                    return std::nullopt;
+                }
+            }
+        }
+
+        /// After overshooting dequeues, pull tail up to head so indices
+        /// remain coherent (CRQ's fixState).
+        void fix_state() {
+            while (true) {
+                const std::uint64_t t_raw = tail.load(std::memory_order_seq_cst);
+                const std::uint64_t h = head.load(std::memory_order_seq_cst);
+                if ((t_raw & ~kClosedBit) >= h) return;
+                std::uint64_t expected = t_raw;
+                if (tail.compare_exchange_strong(expected, h | (t_raw & kClosedBit),
+                                                 std::memory_order_seq_cst)) {
+                    return;
+                }
+            }
+        }
+    };
+
+  public:
+    LCRQOrc() {
+        orc_ptr<Ring*> ring = make_orc<Ring>();
+        head_.store(ring);
+        tail_.store(ring);
+    }
+
+    LCRQOrc(const LCRQOrc&) = delete;
+    LCRQOrc& operator=(const LCRQOrc&) = delete;
+    ~LCRQOrc() = default;  // segments cascade from head_/tail_
+
+    void enqueue(T value) {
+        const std::uint64_t encoded = static_cast<std::uint64_t>(value) + 1;
+        while (true) {
+            orc_ptr<Ring*> ring = tail_.load();
+            orc_ptr<Ring*> next = ring->next.load();
+            if (next != nullptr) {  // help swing the segment tail
+                tail_.cas(ring, next);
+                continue;
+            }
+            if (ring->enqueue(encoded)) return;
+            // Ring closed: link a fresh ring carrying the value.
+            orc_ptr<Ring*> fresh = make_orc<Ring>(encoded);
+            if (ring->next.cas(nullptr, fresh)) {
+                tail_.cas(ring, fresh);
+                return;
+            }
+        }
+    }
+
+    std::optional<T> dequeue() {
+        while (true) {
+            orc_ptr<Ring*> ring = head_.load();
+            if (auto v = ring->dequeue()) return decode(*v);
+            // Ring empty: if no successor, the queue is empty...
+            orc_ptr<Ring*> next = ring->next.load();
+            if (next == nullptr) return std::nullopt;
+            // ...otherwise re-check once (values may have landed between the
+            // empty observation and reading next), then advance the head.
+            if (auto v = ring->dequeue()) return decode(*v);
+            head_.cas(ring, next);
+        }
+    }
+
+    bool empty() {
+        orc_ptr<Ring*> ring = head_.load();
+        const std::uint64_t h = ring->head.load(std::memory_order_seq_cst);
+        const std::uint64_t t = ring->tail.load(std::memory_order_seq_cst) & ~kClosedBit;
+        return t <= h && ring->next.load() == nullptr;
+    }
+
+  private:
+    static T decode(std::uint64_t encoded) { return static_cast<T>(encoded - 1); }
+
+    orc_atomic<Ring*> head_;
+    orc_atomic<Ring*> tail_;
+};
+
+}  // namespace orcgc

@@ -1,0 +1,116 @@
+// Michael's lock-free ordered list with OrcGC automatic reclamation.
+//
+// Same algorithm as ds/michael_list.hpp, but integrated purely via the
+// paper's type-annotation methodology (§4.1.1): no retire() calls, no
+// hazard-index bookkeeping — orc_ptr locals carry the protection and the
+// unlink CAS itself drops the removed node's last hard link.
+#pragma once
+
+#include <utility>
+
+#include "common/alloc_tracker.hpp"
+#include "common/marked_ptr.hpp"
+#include "core/orc.hpp"
+
+namespace orcgc {
+
+template <typename K>
+class MichaelListOrc {
+  public:
+    struct Node : orc_base, TrackedObject {
+        const K key;
+        orc_atomic<Node*> next{nullptr};
+        explicit Node(K k) : key(k) {}
+    };
+
+    MichaelListOrc() = default;
+    MichaelListOrc(const MichaelListOrc&) = delete;
+    MichaelListOrc& operator=(const MichaelListOrc&) = delete;
+    // head_'s destructor drops the first node; the chain cascades.
+    ~MichaelListOrc() = default;
+
+    bool insert(K key) {
+        orc_ptr<Node*> node = make_orc<Node>(key);
+        while (true) {
+            Window w = find(key);
+            if (w.found) return false;  // `node` auto-reclaimed by orc_ptr
+            node->next.store(w.curr);
+            if (w.prev_link->cas(w.curr, node)) return true;
+        }
+    }
+
+    bool remove(K key) {
+        while (true) {
+            Window w = find(key);
+            if (!w.found) return false;
+            // Logical delete: mark curr's next (same object, so the counters
+            // cancel; the CAS is what publishes the mark).
+            if (!w.curr->next.cas(w.next, get_marked(w.next.get()))) continue;
+            // Physical unlink: this CAS removes the last hard link to curr;
+            // OrcGC retires it automatically once local refs vanish.
+            if (!w.prev_link->cas(w.curr, w.next)) {
+                find(key);  // help unlink
+            }
+            return true;
+        }
+    }
+
+    bool contains(K key) { return find(key).found; }
+
+  private:
+    struct Window {
+        orc_atomic<Node*>* prev_link;
+        orc_ptr<Node*> prev;  // keeps the node owning prev_link alive
+        orc_ptr<Node*> curr;
+        orc_ptr<Node*> next;
+        bool found = false;
+    };
+
+    // NOTE on structure: retry is expressed with loops/helper-returns, never
+    // with a backward `goto` jumping over the declarations of orc_ptr-holding
+    // locals — gcc (observed on 12.2) fails to run the skipped locals'
+    // destructors when the jumped-over variable is an NRVO return object,
+    // which silently leaks hp indices (regression-tested by
+    // tests/test_orc_backlog.cpp; background in DESIGN.md §1.5b).
+    Window find(K key) {
+        while (true) {
+            Window w;
+            if (find_attempt(key, w)) return w;
+        }
+    }
+
+    /// One traversal attempt; false = window invalidated, retry.
+    bool find_attempt(K key, Window& w) {
+        w.prev = nullptr;  // head_ is a root, not a node
+        w.prev_link = &head_;
+        w.curr = w.prev_link->load();
+        if (w.curr.is_marked()) return false;
+        while (true) {
+            if (!w.curr) {
+                w.found = false;
+                return true;
+            }
+            w.next = w.curr->next.load();
+            // Validate: prev must still link to the unmarked curr.
+            if (w.prev_link->load_unsafe() != w.curr.get()) return false;
+            if (!w.next.is_marked()) {
+                if (!(w.curr->key < key)) {
+                    w.found = (w.curr->key == key);
+                    return true;
+                }
+                w.prev = std::move(w.curr);
+                w.prev_link = &w.prev->next;
+                w.curr = std::move(w.next);
+            } else {
+                w.next.unmark();
+                if (!w.prev_link->cas(w.curr, w.next)) return false;
+                // No retire(): the CAS above dropped curr's last hard link.
+                w.curr = std::move(w.next);
+            }
+        }
+    }
+
+    orc_atomic<Node*> head_;
+};
+
+}  // namespace orcgc

@@ -1,0 +1,82 @@
+// Michael–Scott lock-free queue (PODC 1996) with OrcGC automatic
+// reclamation — the paper's running example (Algorithm 1).
+//
+// Note what is *absent* compared to a hazard-pointer port: no protect
+// indices, no retire calls, no free-list. The only changes versus the
+// textbook algorithm are the four methodology steps of §4.1.1 (orc_base,
+// make_orc, orc_atomic links, orc_ptr locals).
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "core/orc.hpp"
+
+namespace orcgc {
+
+template <typename T>
+class MSQueueOrc {
+    struct Node : orc_base {
+        T item;
+        orc_atomic<Node*> next{nullptr};
+
+        Node() : item{} {}
+        explicit Node(T it) : item(std::move(it)) {}
+    };
+
+  public:
+    MSQueueOrc() {
+        orc_ptr<Node*> sentinel = make_orc<Node>();
+        head_.store(sentinel);
+        tail_.store(sentinel);
+    }
+
+    MSQueueOrc(const MSQueueOrc&) = delete;
+    MSQueueOrc& operator=(const MSQueueOrc&) = delete;
+
+    // Destruction: the head_/tail_ orc_atomic destructors drop their hard
+    // links and the node chain cascades through the engine's recursion-safe
+    // retire (§4.1 "deletion of the first node on a large list ... may
+    // trigger the deletion of the entire list").
+    ~MSQueueOrc() = default;
+
+    void enqueue(T item) {
+        orc_ptr<Node*> new_node = make_orc<Node>(std::move(item));
+        while (true) {
+            orc_ptr<Node*> ltail = tail_.load();
+            orc_ptr<Node*> lnext = ltail->next.load();
+            if (lnext == nullptr) {
+                if (ltail->next.cas(nullptr, new_node)) {
+                    tail_.cas(ltail, new_node);
+                    return;
+                }
+            } else {
+                tail_.cas(ltail, lnext);  // help a lagging tail
+            }
+        }
+    }
+
+    std::optional<T> dequeue() {
+        while (true) {
+            orc_ptr<Node*> node = head_.load();
+            orc_ptr<Node*> lnext = node->next.load();
+            if (lnext == nullptr) return std::nullopt;  // empty
+            if (head_.cas(node, lnext)) {
+                // lnext is the new sentinel; its item is ours. Protected by
+                // our orc_ptr, so reading after the CAS is safe.
+                return std::move(lnext->item);
+            }
+        }
+    }
+
+    bool empty() const {
+        orc_ptr<Node*> node = head_.load();
+        return node->next.load() == nullptr;
+    }
+
+  private:
+    orc_atomic<Node*> head_;
+    orc_atomic<Node*> tail_;
+};
+
+}  // namespace orcgc

@@ -1,0 +1,181 @@
+// Natarajan–Mittal lock-free external BST with OrcGC automatic reclamation.
+//
+// Same edge-flag/tag algorithm as ds/nm_tree.hpp, integrated via the §4.1.1
+// type-annotation methodology. Two things the automatic scheme buys here:
+//
+//   * seek() descends hand-over-hand with no revalidation; that is sound
+//     under OrcGC because holding an orc_ptr on a parent pins the hard link
+//     to its children (a child's _orc cannot reach zero while the protected
+//     parent still links it) — the property that rules out HP-style manual
+//     schemes on this tree.
+//   * a cleanup swing that bypasses a long tagged chain needs no retire
+//     bookkeeping at all: the ancestor CAS drops the chain head's last hard
+//     link and the whole chain cascades, doomed leaves included.
+#pragma once
+
+#include <limits>
+#include <utility>
+
+#include "common/alloc_tracker.hpp"
+#include "common/marked_ptr.hpp"
+#include "core/orc.hpp"
+
+namespace orcgc {
+
+template <typename K>
+class NMTreeOrc {
+    static_assert(std::is_unsigned_v<K>, "NMTreeOrc reserves the top key values as sentinels");
+
+  public:
+    struct Node : orc_base, TrackedObject {
+        const K key;
+        orc_atomic<Node*> left{nullptr};
+        orc_atomic<Node*> right{nullptr};
+        explicit Node(K k) : key(k) {}
+    };
+
+    static constexpr K kInf0 = std::numeric_limits<K>::max() - 2;
+    static constexpr K kInf1 = std::numeric_limits<K>::max() - 1;
+    static constexpr K kInf2 = std::numeric_limits<K>::max();
+    static constexpr K max_user_key() noexcept { return kInf0 - 1; }
+
+    NMTreeOrc() {
+        orc_ptr<Node*> r = make_orc<Node>(kInf2);
+        orc_ptr<Node*> s = make_orc<Node>(kInf1);
+        orc_ptr<Node*> s_left = make_orc<Node>(kInf0);
+        orc_ptr<Node*> s_right = make_orc<Node>(kInf1);
+        orc_ptr<Node*> r_right = make_orc<Node>(kInf2);
+        s->left.store(s_left);
+        s->right.store(s_right);
+        r->left.store(s);
+        r->right.store(r_right);
+        root_.store(r);
+    }
+
+    NMTreeOrc(const NMTreeOrc&) = delete;
+    NMTreeOrc& operator=(const NMTreeOrc&) = delete;
+    ~NMTreeOrc() = default;  // cascade from root_
+
+    bool insert(K key) {
+        while (true) {
+            SeekRecord sr = seek(key);
+            if (sr.leaf->key == key) return false;
+            orc_atomic<Node*>* child_addr =
+                (key < sr.parent->key) ? &sr.parent->left : &sr.parent->right;
+            orc_ptr<Node*> new_leaf = make_orc<Node>(key);
+            orc_ptr<Node*> internal =
+                make_orc<Node>(key < sr.leaf->key ? sr.leaf->key : key);
+            if (key < sr.leaf->key) {
+                internal->left.store(new_leaf);
+                internal->right.store(sr.leaf);
+            } else {
+                internal->left.store(sr.leaf);
+                internal->right.store(new_leaf);
+            }
+            if (child_addr->cas(sr.leaf, internal)) return true;
+            // internal/new_leaf are reclaimed automatically when the orc_ptrs
+            // drop. Help a delete that froze this edge before retrying.
+            orc_ptr<Node*> val = child_addr->load();
+            if (val.unmarked() == sr.leaf.get() &&
+                (is_marked(val.get()) || is_flagged(val.get()))) {
+                cleanup(key, sr);
+            }
+        }
+    }
+
+    bool remove(K key) {
+        bool injecting = true;
+        Node* leaf_raw = nullptr;
+        while (true) {
+            SeekRecord sr = seek(key);
+            if (injecting) {
+                if (sr.leaf->key != key) return false;
+                leaf_raw = sr.leaf.get();
+                orc_atomic<Node*>* child_addr =
+                    (key < sr.parent->key) ? &sr.parent->left : &sr.parent->right;
+                if (child_addr->cas(sr.leaf, get_marked(sr.leaf.get()))) {
+                    injecting = false;
+                    if (cleanup(key, sr)) return true;
+                } else {
+                    orc_ptr<Node*> val = child_addr->load();
+                    if (val.unmarked() == sr.leaf.get() &&
+                        (is_marked(val.get()) || is_flagged(val.get()))) {
+                        cleanup(key, sr);
+                    }
+                }
+            } else {
+                if (sr.leaf.get() != leaf_raw) return true;  // helped to completion
+                if (cleanup(key, sr)) return true;
+            }
+        }
+    }
+
+    bool contains(K key) { return seek(key).leaf->key == key; }
+
+  private:
+    struct SeekRecord {
+        orc_ptr<Node*> ancestor;
+        orc_ptr<Node*> successor;
+        orc_ptr<Node*> parent;
+        orc_ptr<Node*> leaf;
+    };
+
+    SeekRecord seek(K key) {
+        SeekRecord sr;
+        sr.ancestor = root_.load();
+        orc_ptr<Node*> s = sr.ancestor->left.load();
+        s.unmark();
+        sr.successor = s;
+        sr.parent = s;
+        orc_ptr<Node*> parent_field = sr.parent->left.load();  // edge into leaf, with bits
+        sr.leaf = parent_field;
+        sr.leaf.unmark();
+        orc_ptr<Node*> current_field =
+            ((key < sr.leaf->key) ? sr.leaf->left : sr.leaf->right).load();
+        while (current_field.unmarked() != nullptr) {
+            if (!is_flagged(parent_field.get())) {  // edge into parent untagged
+                sr.ancestor = sr.parent;
+                sr.successor = sr.leaf;
+            }
+            sr.parent = sr.leaf;
+            sr.leaf = current_field;
+            sr.leaf.unmark();
+            parent_field = std::move(current_field);
+            current_field = ((key < sr.leaf->key) ? sr.leaf->left : sr.leaf->right).load();
+        }
+        return sr;
+    }
+
+    bool cleanup(K key, const SeekRecord& sr) {
+        orc_atomic<Node*>* ancestor_field =
+            (key < sr.ancestor->key) ? &sr.ancestor->left : &sr.ancestor->right;
+        orc_atomic<Node*>* key_side =
+            (key < sr.parent->key) ? &sr.parent->left : &sr.parent->right;
+        orc_atomic<Node*>* other_side =
+            (key < sr.parent->key) ? &sr.parent->right : &sr.parent->left;
+        const bool key_side_flagged = is_marked(key_side->load_unsafe());
+        orc_atomic<Node*>* sibling_addr = key_side_flagged ? other_side : key_side;
+        // Tag the sibling edge (freeze the parent).
+        orc_ptr<Node*> sib;
+        while (true) {
+            orc_ptr<Node*> v = sibling_addr->load();
+            if (is_flagged(v.get())) {
+                sib = std::move(v);
+                break;
+            }
+            if (sibling_addr->cas(v, get_flagged(v.get()))) {
+                sib = std::move(v);
+                break;
+            }
+        }
+        // Swing ancestor -> sibling, preserving the sibling's own flag. No
+        // retire calls: the CAS drops the chain's last hard link and OrcGC
+        // cascades through parent, doomed leaf and any tagged interior chain.
+        Node* desired = is_marked(sib.get()) ? get_marked(sib.unmarked()) : sib.unmarked();
+        return ancestor_field->cas(sr.successor.unmarked(), desired);
+    }
+
+    orc_atomic<Node*> root_;
+};
+
+}  // namespace orcgc

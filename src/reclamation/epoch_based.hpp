@@ -1,0 +1,120 @@
+// Epoch-based reclamation (Fraser 2004 / RCU-style quiescence).
+//
+// The blocking baseline in Table 1: protection is a single wait-free
+// announcement per operation (publish the global epoch), but reclamation
+// can be starved forever by one thread parked inside an operation — EBR is
+// therefore *not* lock-free and its unreclaimed bound is unbounded (∞ in
+// Table 1). Included because it is the cheapest protect() of all schemes and
+// anchors the upper end of the performance plots.
+//
+// Classic 3-epoch variant: a node retired in epoch e is free once the global
+// epoch has advanced twice past e, which requires every registered thread to
+// be quiescent or synced with the current epoch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/thread_registry.hpp"
+#include "reclamation/reclaimable.hpp"
+
+namespace orcgc {
+
+template <typename T, int kMaxHPs = 4>
+class EpochBasedReclaimer {
+  public:
+    static constexpr const char* kName = "EBR";
+    static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+    EpochBasedReclaimer() = default;
+    EpochBasedReclaimer(const EpochBasedReclaimer&) = delete;
+    EpochBasedReclaimer& operator=(const EpochBasedReclaimer&) = delete;
+
+    ~EpochBasedReclaimer() {
+        for (auto& slot : tl_) {
+            for (auto& r : slot.retired) delete r.ptr;
+        }
+    }
+
+    /// Enters a read-side critical section: announce the current epoch.
+    void begin_op() noexcept {
+        auto& res = tl_[thread_id()].reservation;
+        res.store(global_era().load(std::memory_order_acquire), std::memory_order_seq_cst);
+    }
+
+    /// Leaves the critical section (quiescent state).
+    void end_op() noexcept {
+        tl_[thread_id()].reservation.store(kQuiescent, std::memory_order_release);
+    }
+
+    /// Under EBR a plain load is safe inside a critical section.
+    T* get_protected(const std::atomic<T*>& addr, int /*idx*/) noexcept {
+        return addr.load(std::memory_order_acquire);
+    }
+    void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {}
+    void clear_one(int /*idx*/) noexcept {}
+
+    void retire(T* ptr) {
+        auto& slot = tl_[thread_id()];
+        slot.retired.push_back({ptr, global_era().load(std::memory_order_acquire)});
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        if (++slot.since_scan >= kScanFrequency) {
+            slot.since_scan = 0;
+            try_advance();
+            collect(slot);
+        }
+    }
+
+    std::size_t unreclaimed_count() const noexcept {
+        std::size_t total = 0;
+        for (const auto& slot : tl_) total += slot.retired_count.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct Retired {
+        T* ptr;
+        std::uint64_t epoch;
+    };
+    struct alignas(kCacheLineSize) Slot {
+        std::atomic<std::uint64_t> reservation{kQuiescent};
+        std::vector<Retired> retired;
+        std::atomic<std::size_t> retired_count{0};
+        int since_scan = 0;
+    };
+    static constexpr int kScanFrequency = 32;
+
+    /// Advances the global epoch iff every registered thread is quiescent or
+    /// has announced the current epoch. This is the blocking step: one
+    /// stalled reader pins the epoch forever.
+    void try_advance() noexcept {
+        std::uint64_t cur = global_era().load(std::memory_order_acquire);
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            const std::uint64_t res = tl_[it].reservation.load(std::memory_order_acquire);
+            if (res != kQuiescent && res < cur) return;
+        }
+        global_era().compare_exchange_strong(cur, cur + 1, std::memory_order_acq_rel);
+    }
+
+    void collect(Slot& slot) {
+        const std::uint64_t cur = global_era().load(std::memory_order_acquire);
+        std::vector<Retired> keep;
+        keep.reserve(slot.retired.size());
+        for (auto& r : slot.retired) {
+            if (r.epoch + 2 <= cur) {
+                delete r.ptr;
+            } else {
+                keep.push_back(r);
+            }
+        }
+        slot.retired.swap(keep);
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+    }
+
+    Slot tl_[kMaxThreads];
+};
+
+}  // namespace orcgc

@@ -1,0 +1,140 @@
+// Hazard eras (Ramalhete & Correia, SPAA 2017).
+//
+// Replaces hazard-pointer publication with era reservation: a thread only
+// issues the expensive seq_cst store when the global era clock has ticked
+// since its last publication, so steady-state protects are a single load —
+// the performance trade the paper discusses. The price is the bound: a
+// reservation protects *every* object alive during the reserved era, so the
+// bound grows with the number of live objects, O(#L·H·t²) (Table 1).
+//
+// Nodes must expose the interval [birth_era, del_era] (ReclaimableBase).
+// The era clock ticks every kEraFrequency retires.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/thread_registry.hpp"
+#include "reclamation/reclaimable.hpp"
+
+namespace orcgc {
+
+template <typename T, int kMaxHPs = 4>
+class HazardEras {
+    static_assert(std::is_base_of_v<ReclaimableBase, T>,
+                  "HazardEras requires nodes to derive from ReclaimableBase");
+
+  public:
+    static constexpr const char* kName = "HE";
+
+    HazardEras() = default;
+    HazardEras(const HazardEras&) = delete;
+    HazardEras& operator=(const HazardEras&) = delete;
+
+    ~HazardEras() {
+        for (auto& slot : tl_) {
+            for (T* ptr : slot.retired) delete ptr;
+        }
+    }
+
+    void begin_op() noexcept {}
+
+    void end_op() noexcept {
+        auto& eras = tl_[thread_id()].he;
+        for (auto& e : eras) e.store(kEraNone, std::memory_order_release);
+    }
+
+    T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
+        auto& he = tl_[thread_id()].he[idx];
+        std::uint64_t prev_era = he.load(std::memory_order_relaxed);
+        while (true) {
+            T* ptr = addr.load(std::memory_order_acquire);
+            const std::uint64_t era = global_era().load(std::memory_order_acquire);
+            if (era == prev_era) return ptr;
+            // Era moved: publish the new reservation and re-read.
+            he.store(era, std::memory_order_seq_cst);
+            prev_era = era;
+        }
+    }
+
+    /// Era-based protection cannot protect a raw pointer without a source
+    /// address; reserving the current era protects everything alive now,
+    /// which is a superset — sufficient for the protect_ptr contract.
+    void protect_ptr(T* /*ptr*/, int idx) noexcept {
+        auto& he = tl_[thread_id()].he[idx];
+        const std::uint64_t era = global_era().load(std::memory_order_acquire);
+        if (he.load(std::memory_order_relaxed) != era) {
+            he.store(era, std::memory_order_seq_cst);
+        }
+    }
+
+    void clear_one(int idx) noexcept {
+        tl_[thread_id()].he[idx].store(kEraNone, std::memory_order_release);
+    }
+
+    void retire(T* ptr) {
+        auto& slot = tl_[thread_id()];
+        ptr->del_era.store(global_era().load(std::memory_order_acquire),
+                           std::memory_order_release);
+        slot.retired.push_back(ptr);
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        if (++slot.since_tick >= kEraFrequency) {
+            slot.since_tick = 0;
+            global_era().fetch_add(1, std::memory_order_acq_rel);
+        }
+        if (slot.retired.size() >= scan_threshold()) scan(slot);
+    }
+
+    std::size_t unreclaimed_count() const noexcept {
+        std::size_t total = 0;
+        for (const auto& slot : tl_) total += slot.retired_count.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct alignas(kCacheLineSize) Slot {
+        std::atomic<std::uint64_t> he[kMaxHPs] = {};
+        std::vector<T*> retired;
+        std::atomic<std::size_t> retired_count{0};
+        int since_tick = 0;
+    };
+    static constexpr int kEraFrequency = 64;
+
+    std::size_t scan_threshold() const noexcept {
+        return static_cast<std::size_t>(kMaxHPs) * thread_id_watermark() + kMaxHPs + 8;
+    }
+
+    bool can_delete(const T* ptr, int watermark) const noexcept {
+        const std::uint64_t born = ptr->birth_era;
+        const std::uint64_t dead = ptr->del_era.load(std::memory_order_acquire);
+        for (int it = 0; it < watermark; ++it) {
+            for (const auto& h : tl_[it].he) {
+                const std::uint64_t era = h.load(std::memory_order_acquire);
+                if (era != kEraNone && born <= era && era <= dead) return false;
+            }
+        }
+        return true;
+    }
+
+    void scan(Slot& slot) {
+        const int wm = thread_id_watermark();
+        std::vector<T*> keep;
+        keep.reserve(slot.retired.size());
+        for (T* ptr : slot.retired) {
+            if (can_delete(ptr, wm)) {
+                delete ptr;
+            } else {
+                keep.push_back(ptr);
+            }
+        }
+        slot.retired.swap(keep);
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+    }
+
+    Slot tl_[kMaxThreads];
+};
+
+}  // namespace orcgc

@@ -1,0 +1,128 @@
+// Hazard pointers (Michael, IEEE TPDS 2004).
+//
+// The classic pointer-based manual scheme and the main baseline of the
+// paper. Each thread publishes up to kMaxHPs "hazardous" pointers; retire()
+// buffers nodes in a thread-local list and, once the list reaches the scan
+// threshold R, frees every buffered node not currently published by any
+// thread. Bound on unreclaimed objects: O(H·t²) — each of t threads may
+// buffer up to R = H·t + slack nodes.
+//
+// Uses only atomic loads and stores (a seq_cst store for publication, which
+// on x86 compiles to xchg or mov+mfence — exactly the fence the paper's §5
+// discusses when comparing Intel and AMD).
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/thread_registry.hpp"
+
+namespace orcgc {
+
+template <typename T, int kMaxHPs = 4>
+class HazardPointers {
+  public:
+    static constexpr const char* kName = "HP";
+
+    HazardPointers() = default;
+    HazardPointers(const HazardPointers&) = delete;
+    HazardPointers& operator=(const HazardPointers&) = delete;
+
+    ~HazardPointers() {
+        for (auto& slot : tl_) {
+            for (T* ptr : slot.retired) delete ptr;
+        }
+    }
+
+    void begin_op() noexcept {}
+
+    /// Clears all of the calling thread's hazard pointers.
+    void end_op() noexcept {
+        auto& hp = tl_[thread_id()].hp;
+        for (auto& h : hp) h.store(nullptr, std::memory_order_release);
+    }
+
+    /// Publishes the pointer read from addr at hp slot `idx` and re-validates
+    /// until stable. Returns the (possibly marked) value read; the published
+    /// hazard is always the unmarked object address.
+    T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
+        auto& hp = tl_[thread_id()].hp[idx];
+        T* pub = nullptr;
+        for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
+            if (get_unmarked(ptr) == pub) return ptr;
+            pub = get_unmarked(ptr);
+            hp.store(pub, std::memory_order_seq_cst);
+        }
+    }
+
+    /// Publishes `ptr` without validation; the caller must re-validate the
+    /// source link before dereferencing.
+    void protect_ptr(T* ptr, int idx) noexcept {
+        tl_[thread_id()].hp[idx].store(get_unmarked(ptr), std::memory_order_seq_cst);
+    }
+
+    void clear_one(int idx) noexcept {
+        tl_[thread_id()].hp[idx].store(nullptr, std::memory_order_release);
+    }
+
+    /// Buffers `ptr` (must be unreachable and unmarked) and scans when the
+    /// buffer reaches the threshold.
+    void retire(T* ptr) {
+        auto& slot = tl_[thread_id()];
+        slot.retired.push_back(ptr);
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        if (slot.retired.size() >= scan_threshold()) scan(slot);
+    }
+
+    std::size_t unreclaimed_count() const noexcept {
+        std::size_t total = 0;
+        for (const auto& slot : tl_) total += slot.retired_count.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct alignas(kCacheLineSize) Slot {
+        std::atomic<T*> hp[kMaxHPs] = {};
+        std::vector<T*> retired;
+        std::atomic<std::size_t> retired_count{0};
+    };
+
+    std::size_t scan_threshold() const noexcept {
+        return static_cast<std::size_t>(kMaxHPs) * thread_id_watermark() + kMaxHPs + 8;
+    }
+
+    void scan(Slot& slot) {
+        std::vector<T*> hazards;
+        const int wm = thread_id_watermark();
+        hazards.reserve(static_cast<std::size_t>(wm) * kMaxHPs);
+        for (int it = 0; it < wm; ++it) {
+            for (const auto& h : tl_[it].hp) {
+                if (T* ptr = h.load(std::memory_order_acquire)) hazards.push_back(ptr);
+            }
+        }
+        std::vector<T*> keep;
+        keep.reserve(slot.retired.size());
+        for (T* ptr : slot.retired) {
+            bool protected_ = false;
+            for (T* h : hazards) {
+                if (h == ptr) {
+                    protected_ = true;
+                    break;
+                }
+            }
+            if (protected_) {
+                keep.push_back(ptr);
+            } else {
+                delete ptr;
+            }
+        }
+        slot.retired.swap(keep);
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+    }
+
+    Slot tl_[kMaxThreads];
+};
+
+}  // namespace orcgc

@@ -1,0 +1,146 @@
+// Interval-based reclamation, 2-global-epoch variant (2GEIBR — Wen,
+// Izraelevitz, Cai, Beadle, Scott, PPoPP 2018).
+//
+// Like hazard eras, every node carries its visibility interval
+// [birth_era, del_era]. Unlike HE's one-era-per-pointer reservations, an
+// IBR reader reserves a *range* [lower, upper]: `lower` is the epoch at
+// operation start and `upper` is bumped on every protected read. A retired
+// node is free once no thread's reserved range intersects the node's
+// interval. The range reservation is what inflates the bound relative to HE
+// (the paper's §2 notes Hyaline shares this property): O(#L·H·t²).
+//
+// Epochs advance on allocation: call on_alloc() from node constructors or,
+// as our benchmark nodes do, rely on ReclaimableBase + an explicit tick in
+// retire (both are faithful to the "epoch advances with allocation rate"
+// design; we tick in retire so node types stay scheme-agnostic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/thread_registry.hpp"
+#include "reclamation/reclaimable.hpp"
+
+namespace orcgc {
+
+template <typename T, int kMaxHPs = 4>
+class IntervalBasedReclaimer {
+    static_assert(std::is_base_of_v<ReclaimableBase, T>,
+                  "IntervalBasedReclaimer requires nodes derived from ReclaimableBase");
+
+  public:
+    static constexpr const char* kName = "IBR";
+
+    IntervalBasedReclaimer() = default;
+    IntervalBasedReclaimer(const IntervalBasedReclaimer&) = delete;
+    IntervalBasedReclaimer& operator=(const IntervalBasedReclaimer&) = delete;
+
+    ~IntervalBasedReclaimer() {
+        for (auto& slot : tl_) {
+            for (T* ptr : slot.retired) delete ptr;
+        }
+    }
+
+    /// Starts an operation: reserve [now, now].
+    void begin_op() noexcept {
+        auto& slot = tl_[thread_id()];
+        const std::uint64_t era = global_era().load(std::memory_order_acquire);
+        slot.lower.store(era, std::memory_order_seq_cst);
+        slot.upper.store(era, std::memory_order_seq_cst);
+    }
+
+    void end_op() noexcept {
+        auto& slot = tl_[thread_id()];
+        slot.lower.store(kEraNone, std::memory_order_release);
+        slot.upper.store(kEraNone, std::memory_order_release);
+    }
+
+    /// Protected read: extend the reservation's upper bound to the current
+    /// epoch, then the read value's interval is covered.
+    T* get_protected(const std::atomic<T*>& addr, int /*idx*/) noexcept {
+        auto& slot = tl_[thread_id()];
+        std::uint64_t prev = slot.upper.load(std::memory_order_relaxed);
+        while (true) {
+            T* ptr = addr.load(std::memory_order_acquire);
+            const std::uint64_t era = global_era().load(std::memory_order_acquire);
+            if (era == prev) return ptr;
+            slot.upper.store(era, std::memory_order_seq_cst);
+            prev = era;
+        }
+    }
+    void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {
+        auto& slot = tl_[thread_id()];
+        const std::uint64_t era = global_era().load(std::memory_order_acquire);
+        if (slot.upper.load(std::memory_order_relaxed) != era) {
+            slot.upper.store(era, std::memory_order_seq_cst);
+        }
+    }
+    void clear_one(int /*idx*/) noexcept {}
+
+    void retire(T* ptr) {
+        auto& slot = tl_[thread_id()];
+        ptr->del_era.store(global_era().load(std::memory_order_acquire),
+                           std::memory_order_release);
+        slot.retired.push_back(ptr);
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        if (++slot.since_tick >= kEpochFrequency) {
+            slot.since_tick = 0;
+            global_era().fetch_add(1, std::memory_order_acq_rel);
+        }
+        if (slot.retired.size() >= scan_threshold()) scan(slot);
+    }
+
+    std::size_t unreclaimed_count() const noexcept {
+        std::size_t total = 0;
+        for (const auto& slot : tl_) total += slot.retired_count.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct alignas(kCacheLineSize) Slot {
+        std::atomic<std::uint64_t> lower{kEraNone};
+        std::atomic<std::uint64_t> upper{kEraNone};
+        std::vector<T*> retired;
+        std::atomic<std::size_t> retired_count{0};
+        int since_tick = 0;
+    };
+    static constexpr int kEpochFrequency = 64;
+
+    std::size_t scan_threshold() const noexcept {
+        return 4u * thread_id_watermark() + 12;
+    }
+
+    bool can_delete(const T* ptr, int watermark) const noexcept {
+        const std::uint64_t born = ptr->birth_era;
+        const std::uint64_t dead = ptr->del_era.load(std::memory_order_acquire);
+        for (int it = 0; it < watermark; ++it) {
+            const std::uint64_t lo = tl_[it].lower.load(std::memory_order_acquire);
+            const std::uint64_t hi = tl_[it].upper.load(std::memory_order_acquire);
+            if (lo == kEraNone) continue;
+            // Intervals intersect unless one ends before the other begins.
+            if (!(dead < lo || hi < born)) return false;
+        }
+        return true;
+    }
+
+    void scan(Slot& slot) {
+        const int wm = thread_id_watermark();
+        std::vector<T*> keep;
+        keep.reserve(slot.retired.size());
+        for (T* ptr : slot.retired) {
+            if (can_delete(ptr, wm)) {
+                delete ptr;
+            } else {
+                keep.push_back(ptr);
+            }
+        }
+        slot.retired.swap(keep);
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+    }
+
+    Slot tl_[kMaxThreads];
+};
+
+}  // namespace orcgc

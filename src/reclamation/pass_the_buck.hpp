@@ -1,0 +1,177 @@
+// Pass-the-buck (Herlihy, Luchangco, Moir — DISC 2002, "The Repeat Offender
+// Problem").
+//
+// Guard posting works like hazard pointers; Liberate() differs: instead of
+// keeping a value buffered until no guard posts it, the liberator *hands it
+// off* to the guard that traps it using a double-word CAS (pointer + version
+// tag), taking in exchange whatever value was previously handed off to that
+// guard. A guard owner collects its handoff when it clears or re-posts.
+// Bound: O(H·t²) — each Liberate pass may hand off one value per guard and
+// carry away one, and every thread may hold a full retired buffer.
+//
+// This is the scheme the paper credits as the origin of PTP's shared-
+// responsibility idea; PTP (pass_the_pointer.hpp) tightens the bound to
+// O(H·t) by pushing single pointers instead of scanning whole lists.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/thread_registry.hpp"
+
+namespace orcgc {
+
+template <typename T, int kMaxHPs = 4>
+class PassTheBuck {
+  public:
+    static constexpr const char* kName = "PTB";
+
+    PassTheBuck() = default;
+    PassTheBuck(const PassTheBuck&) = delete;
+    PassTheBuck& operator=(const PassTheBuck&) = delete;
+
+    ~PassTheBuck() {
+        // Single-threaded teardown: free buffered values and trapped handoffs.
+        for (auto& slot : tl_) {
+            for (T* ptr : slot.retired) delete ptr;
+            for (auto& h : slot.handoff) {
+                Handoff cur = h.load(std::memory_order_acquire);
+                if (cur.ptr != nullptr) delete cur.ptr;
+            }
+        }
+    }
+
+    void begin_op() noexcept {}
+
+    void end_op() noexcept {
+        const int tid = thread_id();
+        for (int idx = 0; idx < kMaxHPs; ++idx) clear_one_for(tid, idx);
+    }
+
+    T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
+        auto& guard = tl_[thread_id()].guard[idx];
+        T* pub = nullptr;
+        for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
+            if (get_unmarked(ptr) == pub) return ptr;
+            pub = get_unmarked(ptr);
+            guard.store(pub, std::memory_order_seq_cst);
+        }
+    }
+
+    void protect_ptr(T* ptr, int idx) noexcept {
+        tl_[thread_id()].guard[idx].store(get_unmarked(ptr), std::memory_order_seq_cst);
+    }
+
+    void clear_one(int idx) noexcept { clear_one_for(thread_id(), idx); }
+
+    void retire(T* ptr) {
+        auto& slot = tl_[thread_id()];
+        slot.retired.push_back(ptr);
+        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        if (slot.retired.size() >= liberate_threshold()) {
+            liberate(slot.retired);
+            slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        }
+    }
+
+    std::size_t unreclaimed_count() const noexcept {
+        std::size_t total = 0;
+        for (const auto& slot : tl_) {
+            total += slot.retired_count.load(std::memory_order_relaxed);
+            for (const auto& h : slot.handoff) {
+                if (h.load(std::memory_order_acquire).ptr != nullptr) ++total;
+            }
+        }
+        return total;
+    }
+
+  private:
+    /// Pointer + version tag, CASed as a unit (DWCAS). The tag makes each
+    /// handoff attempt unique so a liberator never confuses an old trapped
+    /// value with a new one (ABA on the handoff slot).
+    struct alignas(16) Handoff {
+        T* ptr = nullptr;
+        std::uint64_t tag = 0;
+        bool operator==(const Handoff&) const = default;
+    };
+
+    struct alignas(kCacheLineSize) Slot {
+        std::atomic<T*> guard[kMaxHPs] = {};
+        std::atomic<Handoff> handoff[kMaxHPs] = {};
+        std::vector<T*> retired;
+        std::atomic<std::size_t> retired_count{0};
+    };
+
+    std::size_t liberate_threshold() const noexcept {
+        return static_cast<std::size_t>(kMaxHPs) * thread_id_watermark() + kMaxHPs + 8;
+    }
+
+    void clear_one_for(int tid, int idx) noexcept {
+        auto& slot = tl_[tid];
+        slot.guard[idx].store(nullptr, std::memory_order_seq_cst);
+        // Collect any value trapped at this guard; we are now responsible
+        // for liberating it.
+        Handoff cur = slot.handoff[idx].load(std::memory_order_acquire);
+        while (cur.ptr != nullptr) {
+            if (slot.handoff[idx].compare_exchange_weak(cur, Handoff{nullptr, cur.tag + 1},
+                                                        std::memory_order_acq_rel)) {
+                slot.retired.push_back(cur.ptr);
+                slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+                break;
+            }
+        }
+    }
+
+    /// Hands off every value in `vs` that some guard posts to that guard
+    /// (swapping out any previous handoff, which joins our responsibility
+    /// set), then frees the values no guard posts. Values that remain posted
+    /// but could not be handed off (CAS races) stay buffered in `vs`.
+    void liberate(std::vector<T*>& vs) {
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            for (int idx = 0; idx < kMaxHPs; ++idx) {
+                auto& slot = tl_[it];
+                T* posted = slot.guard[idx].load(std::memory_order_acquire);
+                if (posted == nullptr) continue;
+                auto pos = std::find(vs.begin(), vs.end(), posted);
+                if (pos == vs.end()) continue;
+                Handoff h = slot.handoff[idx].load(std::memory_order_acquire);
+                if (h.ptr == posted) continue;  // already trapped at this guard
+                if (slot.handoff[idx].compare_exchange_strong(h, Handoff{posted, h.tag + 1},
+                                                              std::memory_order_acq_rel)) {
+                    vs.erase(pos);
+                    if (h.ptr != nullptr) vs.push_back(h.ptr);  // take over old handoff
+                }
+                // On CAS failure the guard owner is concurrently collecting
+                // this slot; `posted` stays buffered and is re-checked below.
+            }
+        }
+        // Free the leftovers that are not posted anywhere; keep the rest.
+        std::vector<T*> hazards;
+        hazards.reserve(static_cast<std::size_t>(wm) * kMaxHPs);
+        for (int it = 0; it < wm; ++it) {
+            for (int idx = 0; idx < kMaxHPs; ++idx) {
+                if (T* g = tl_[it].guard[idx].load(std::memory_order_acquire)) {
+                    hazards.push_back(g);
+                }
+            }
+        }
+        std::vector<T*> keep;
+        for (T* ptr : vs) {
+            if (std::find(hazards.begin(), hazards.end(), ptr) != hazards.end()) {
+                keep.push_back(ptr);
+            } else {
+                delete ptr;
+            }
+        }
+        vs.swap(keep);
+    }
+
+    Slot tl_[kMaxThreads];
+};
+
+}  // namespace orcgc

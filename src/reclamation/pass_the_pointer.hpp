@@ -1,0 +1,133 @@
+// Pass-the-pointer (PTP) — the paper's manual reclamation scheme (§3.1,
+// Algorithm 2).
+//
+// Protection is identical to hazard pointers. Retiring differs: there are no
+// thread-local retired lists at all. retire(p) scans the published hazard
+// pointers; if some slot hp[t][i] protects p, responsibility for freeing p is
+// *handed over* by atomically exchanging p into the paired handovers[t][i]
+// slot — taking out whatever pointer was parked there before and continuing
+// the scan with it. A pointer is only ever moved further down the scan order
+// or deleted, so the scan terminates, and at any instant there are at most
+// t·H parked pointers plus one in-flight pointer per thread: the O(H·t)
+// bound that is the scheme's headline property (Table 1, last rows).
+//
+// clear() on a slot also drains the paired handover (the "optional" lines
+// 16–19 of Algorithm 2); without it a parked pointer would wait for the slot
+// to be reused, which delays — but never breaks — reclamation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/cacheline.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/thread_registry.hpp"
+
+namespace orcgc {
+
+template <typename T, int kMaxHPs = 4>
+class PassThePointer {
+  public:
+    static constexpr const char* kName = "PTP";
+
+    PassThePointer() = default;
+    PassThePointer(const PassThePointer&) = delete;
+    PassThePointer& operator=(const PassThePointer&) = delete;
+
+    ~PassThePointer() {
+        // Single-threaded teardown: anything still parked is unreachable.
+        for (auto& slot : tl_) {
+            for (auto& h : slot.handovers) {
+                if (T* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) delete ptr;
+            }
+        }
+    }
+
+    void begin_op() noexcept {}
+
+    void end_op() noexcept {
+        const int tid = thread_id();
+        for (int idx = 0; idx < kMaxHPs; ++idx) clear_one_for(tid, idx);
+    }
+
+    /// Algorithm 2 lines 4–11. Publication uses exchange() by default — the
+    /// paper found it faster than mov+mfence on AMD (§5); see
+    /// bench_publish_ablation for the measured difference.
+    T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
+        auto& hp = tl_[thread_id()].hp[idx];
+        T* pub = nullptr;
+        for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
+            if (get_unmarked(ptr) == pub) return ptr;
+            pub = get_unmarked(ptr);
+            hp.exchange(pub, std::memory_order_seq_cst);
+        }
+    }
+
+    void protect_ptr(T* ptr, int idx) noexcept {
+        tl_[thread_id()].hp[idx].exchange(get_unmarked(ptr), std::memory_order_seq_cst);
+    }
+
+    /// Algorithm 2 lines 13–20: unpublish and drain the paired handover.
+    void clear_one(int idx) noexcept { clear_one_for(thread_id(), idx); }
+
+    /// Algorithm 2 line 22.
+    void retire(T* ptr) { handover_or_delete(ptr, 0); }
+
+    /// Number of pointers currently parked in handover slots (the scheme has
+    /// no other buffering, so this *is* the unreclaimed population).
+    std::size_t unreclaimed_count() const noexcept {
+        std::size_t total = 0;
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            for (const auto& h : tl_[it].handovers) {
+                if (h.load(std::memory_order_acquire) != nullptr) ++total;
+            }
+        }
+        return total;
+    }
+
+  private:
+    struct alignas(kCacheLineSize) Slot {
+        std::atomic<T*> hp[kMaxHPs] = {};
+        // Separate line from hp: any thread writes handovers, only the owner
+        // writes hp (§3.1 "separate bi-dimensional array ... avoid
+        // false-sharing").
+        alignas(kCacheLineSize) std::atomic<T*> handovers[kMaxHPs] = {};
+    };
+
+    void clear_one_for(int tid, int idx) noexcept {
+        auto& slot = tl_[tid];
+        slot.hp[idx].store(nullptr, std::memory_order_release);
+        if (slot.handovers[idx].load(std::memory_order_acquire) != nullptr) {
+            if (T* ptr = slot.handovers[idx].exchange(nullptr, std::memory_order_acq_rel)) {
+                // We just unprotected the slot that parked this pointer; we
+                // inherit the delete-or-handover duty, starting at our own
+                // scan position (earlier threads' stable protections would
+                // have been seen by the scan that parked it here).
+                handover_or_delete(ptr, tid);
+            }
+        }
+    }
+
+    /// Algorithm 2 lines 24–37.
+    void handover_or_delete(T* ptr, int start_tid) {
+        const int wm = thread_id_watermark();
+        for (int it = start_tid; it < wm; ++it) {
+            for (int idx = 0; idx < kMaxHPs;) {
+                if (tl_[it].hp[idx].load(std::memory_order_acquire) == ptr) {
+                    ptr = tl_[it].handovers[idx].exchange(ptr, std::memory_order_acq_rel);
+                    if (ptr == nullptr) return;
+                    // The swapped-out pointer may itself be protected by this
+                    // same slot; if so re-park here before moving on.
+                    if (tl_[it].hp[idx].load(std::memory_order_acquire) == ptr) continue;
+                }
+                ++idx;
+            }
+        }
+        delete ptr;
+    }
+
+    Slot tl_[kMaxThreads];
+};
+
+}  // namespace orcgc

@@ -1,0 +1,41 @@
+// Node base and shared era clock for the manual reclamation schemes.
+//
+// Table 1 of the paper compares "extra words per object": HP/PTB/PTP need
+// none, HE/IBR need two (an interval [birth_era, del_era] recording when the
+// object was visible). To let one benchmark node type run under every
+// scheme, ReclaimableBase always carries the two era words; schemes that do
+// not need them simply never read them. (The two words therefore measure the
+// *scheme's* requirement, not the node layout — the bound experiments count
+// objects, not bytes.)
+//
+// The era/epoch clock is a single process-global monotonic counter shared by
+// HE, IBR and EBR. Sharing one clock is semantically harmless (eras are only
+// compared for ordering) and lets node constructors stamp their birth era
+// without a reference to a particular reclaimer instance.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace orcgc {
+
+inline constexpr std::uint64_t kEraNone = 0;
+
+/// Process-global era clock (starts at 1 so that 0 can mean "no era").
+inline std::atomic<std::uint64_t>& global_era() {
+    static std::atomic<std::uint64_t> era{1};
+    return era;
+}
+
+/// Base class for all nodes managed by the manual schemes.
+struct ReclaimableBase {
+    /// Era at which the object became visible (HE: newEra, IBR: birth epoch).
+    std::uint64_t birth_era;
+    /// Era at which the object was retired (HE: delEra, IBR: retire epoch).
+    std::atomic<std::uint64_t> del_era;
+
+    ReclaimableBase() noexcept
+        : birth_era(global_era().load(std::memory_order_acquire)), del_era(kEraNone) {}
+};
+
+}  // namespace orcgc

@@ -1,0 +1,24 @@
+// C++20 concept describing the manual-reclamation interface shared by all
+// schemes in this directory. Data structures template over a Reclaimer and
+// this concept keeps the duck typing honest at the point of instantiation.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+
+namespace orcgc {
+
+template <typename R, typename T>
+concept ManualReclaimer = requires(R r, const R cr, std::atomic<T*> addr, T* ptr, int idx) {
+    { r.begin_op() };
+    { r.end_op() };
+    { r.get_protected(addr, idx) } -> std::same_as<T*>;
+    { r.protect_ptr(ptr, idx) };
+    { r.clear_one(idx) };
+    { r.retire(ptr) };
+    { cr.unreclaimed_count() } -> std::same_as<std::size_t>;
+    { R::kName } -> std::convertible_to<const char*>;
+};
+
+}  // namespace orcgc

@@ -1,0 +1,62 @@
+// "None" pseudo-reclaimer: the leak baseline used throughout §5.
+//
+// retire() parks the node forever (freed only when the reclaimer itself is
+// destroyed, so the process stays sanitizer-clean). It measures the cost of
+// a data structure with no reclamation at all — the upper performance bound
+// every real scheme is normalized against in Figs. 3–8.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/thread_registry.hpp"
+
+namespace orcgc {
+
+template <typename T, int kMaxHPs = 4>
+class ReclaimerNone {
+  public:
+    static constexpr const char* kName = "None";
+
+    ReclaimerNone() = default;
+    ReclaimerNone(const ReclaimerNone&) = delete;
+    ReclaimerNone& operator=(const ReclaimerNone&) = delete;
+
+    ~ReclaimerNone() {
+        for (auto& slot : retired_) {
+            for (T* ptr : slot.list) delete ptr;
+        }
+    }
+
+    void begin_op() noexcept {}
+    void end_op() noexcept {}
+
+    T* get_protected(const std::atomic<T*>& addr, int /*idx*/) noexcept {
+        return addr.load(std::memory_order_acquire);
+    }
+    void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {}
+    void clear_one(int /*idx*/) noexcept {}
+
+    void retire(T* ptr) {
+        auto& slot = retired_[thread_id()];
+        slot.list.push_back(ptr);
+        slot.count.store(slot.list.size(), std::memory_order_relaxed);
+    }
+
+    std::size_t unreclaimed_count() const noexcept {
+        std::size_t total = 0;
+        for (const auto& slot : retired_) total += slot.count.load(std::memory_order_relaxed);
+        return total;
+    }
+
+  private:
+    struct alignas(kCacheLineSize) Slot {
+        std::vector<T*> list;
+        std::atomic<std::size_t> count{0};
+    };
+    Slot retired_[kMaxThreads];
+};
+
+}  // namespace orcgc

@@ -1,0 +1,236 @@
+// Unit tests for the common substrate: thread registry, marked pointers,
+// RNG, barrier, allocation tracker, workload generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_tracker.hpp"
+#include "common/barrier.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/rng.hpp"
+#include "common/thread_registry.hpp"
+#include "common/workload.hpp"
+
+namespace orcgc {
+namespace {
+
+TEST(ThreadRegistry, MainThreadGetsStableId) {
+    const int tid = thread_id();
+    EXPECT_GE(tid, 0);
+    EXPECT_LT(tid, kMaxThreads);
+    EXPECT_EQ(tid, thread_id());  // idempotent per thread
+}
+
+TEST(ThreadRegistry, ConcurrentIdsAreUnique) {
+    constexpr int kThreads = 16;
+    std::vector<int> ids(kThreads, -1);
+    std::vector<std::thread> threads;
+    SpinBarrier barrier(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            ids[i] = thread_id();
+            // Hold the slot until every thread has claimed one, so exits
+            // cannot recycle ids into still-starting threads.
+            barrier.arrive_and_wait();
+        });
+    }
+    for (auto& t : threads) t.join();
+    std::set<int> unique(ids.begin(), ids.end());
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads));
+    for (int id : ids) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(id, kMaxThreads);
+    }
+}
+
+TEST(ThreadRegistry, IdsAreReusedAfterThreadExit) {
+    int first = -1;
+    std::thread([&] { first = thread_id(); }).join();
+    int second = -1;
+    std::thread([&] { second = thread_id(); }).join();
+    EXPECT_EQ(first, second);  // the slot freed by the first thread is reused
+}
+
+TEST(ThreadRegistry, WatermarkCoversAllIssuedIds) {
+    std::vector<std::thread> threads;
+    std::atomic<int> max_seen{0};
+    for (int i = 0; i < 8; ++i) {
+        threads.emplace_back([&] {
+            int tid = thread_id();
+            int cur = max_seen.load();
+            while (cur < tid && !max_seen.compare_exchange_weak(cur, tid)) {
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_GE(thread_id_watermark(), max_seen.load() + 1);
+}
+
+TEST(MarkedPtr, RoundTrip) {
+    int x = 0;
+    int* p = &x;
+    EXPECT_FALSE(is_marked(p));
+    int* m = get_marked(p);
+    EXPECT_TRUE(is_marked(m));
+    EXPECT_EQ(get_unmarked(m), p);
+    EXPECT_EQ(get_unmarked(p), p);
+}
+
+TEST(MarkedPtr, FlagBitIndependentOfMarkBit) {
+    long v = 0;
+    long* p = &v;
+    long* f = get_flagged(p);
+    EXPECT_TRUE(is_flagged(f));
+    EXPECT_FALSE(is_marked(f));
+    long* fm = get_marked(f);
+    EXPECT_TRUE(is_flagged(fm));
+    EXPECT_TRUE(is_marked(fm));
+    EXPECT_EQ(get_unmarked(fm), p);
+}
+
+TEST(MarkedPtr, WithBitsOfTransfersLowBits) {
+    int a = 0, b = 0;
+    int* src = get_marked(&a);
+    int* dst = with_bits_of(&b, src);
+    EXPECT_TRUE(is_marked(dst));
+    EXPECT_EQ(get_unmarked(dst), &b);
+}
+
+TEST(MarkedPtr, NullHandling) {
+    int* null = nullptr;
+    EXPECT_FALSE(is_marked(null));
+    EXPECT_EQ(get_unmarked(null), nullptr);
+    EXPECT_TRUE(is_marked(get_marked(null)));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    Xoshiro256 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Xoshiro256 a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() != b.next()) ++differing;
+    }
+    EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+    Xoshiro256 rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_bounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+    Xoshiro256 rng(99);
+    constexpr int kBuckets = 10;
+    constexpr int kSamples = 100000;
+    int histogram[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i) ++histogram[rng.next_bounded(kBuckets)];
+    for (int count : histogram) {
+        EXPECT_GT(count, kSamples / kBuckets * 0.9);
+        EXPECT_LT(count, kSamples / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Barrier, ReleasesAllParties) {
+    constexpr int kThreads = 8;
+    SpinBarrier barrier(kThreads);
+    std::atomic<int> before{0}, after{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            before.fetch_add(1);
+            barrier.arrive_and_wait();
+            EXPECT_EQ(before.load(), kThreads);  // nobody passes before all arrive
+            after.fetch_add(1);
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(after.load(), kThreads);
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+    constexpr int kThreads = 4;
+    constexpr int kRounds = 50;
+    SpinBarrier barrier(kThreads);
+    std::atomic<int> counter{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < kRounds; ++r) {
+                barrier.arrive_and_wait();
+                counter.fetch_add(1);
+                barrier.arrive_and_wait();
+                // Between the two barriers every thread of this round has
+                // incremented: the count is a multiple of kThreads.
+                EXPECT_EQ(counter.load() % kThreads, 0);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(AllocTracker, CountsConstructionsAndDestructions) {
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        TrackedObject a;
+        TrackedObject b;
+        EXPECT_EQ(counters.live_count(), live_before + 2);
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+}
+
+TEST(AllocTracker, DetectsDeadAccess) {
+    auto& counters = AllocCounters::instance();
+    const auto dead_before = counters.dead_accesses();
+    alignas(TrackedObject) unsigned char storage[sizeof(TrackedObject)];
+    auto* obj = new (storage) TrackedObject();
+    EXPECT_TRUE(obj->check_alive());
+    obj->~TrackedObject();
+    EXPECT_FALSE(obj->check_alive());
+    EXPECT_EQ(counters.dead_accesses(), dead_before + 1);
+}
+
+TEST(Workload, MixPercentagesRespected) {
+    Xoshiro256 rng(5);
+    constexpr int kSamples = 100000;
+    for (const auto& mix : kAllMixes) {
+        int inserts = 0, removes = 0, lookups = 0;
+        for (int i = 0; i < kSamples; ++i) {
+            switch (next_op(rng, mix)) {
+                case SetOp::kInsert: ++inserts; break;
+                case SetOp::kRemove: ++removes; break;
+                case SetOp::kContains: ++lookups; break;
+            }
+        }
+        EXPECT_NEAR(inserts * 100.0 / kSamples, mix.insert_pct, 1.5) << mix.name;
+        EXPECT_NEAR(removes * 100.0 / kSamples, mix.remove_pct, 1.5) << mix.name;
+        EXPECT_NEAR(lookups * 100.0 / kSamples, 100 - mix.update_pct(), 1.5) << mix.name;
+    }
+}
+
+TEST(Workload, ReadOnlyMixNeverWrites) {
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 10000; ++i) EXPECT_EQ(next_op(rng, kReadOnly), SetOp::kContains);
+}
+
+}  // namespace
+}  // namespace orcgc

@@ -1,0 +1,127 @@
+// Tests for the OrcGC hash set: set semantics across bucket counts
+// (including bucket_count = 1, which degenerates to the plain list),
+// concurrent linearizability witnesses and reclamation soundness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_tracker.hpp"
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "ds/orc/hash_map_orc.hpp"
+
+namespace orcgc {
+namespace {
+
+using Key = std::uint64_t;
+
+TEST(HashMapOrc, BucketCountRoundsUpToPowerOfTwo) {
+    EXPECT_EQ(HashMapOrc<Key>(1).bucket_count(), 1u);
+    EXPECT_EQ(HashMapOrc<Key>(2).bucket_count(), 2u);
+    EXPECT_EQ(HashMapOrc<Key>(3).bucket_count(), 4u);
+    EXPECT_EQ(HashMapOrc<Key>(1000).bucket_count(), 1024u);
+}
+
+TEST(HashMapOrc, MixHashSpreadsDenseKeys) {
+    // Dense integer keys must not pile into few buckets.
+    constexpr std::size_t kBuckets = 64;
+    constexpr std::uint64_t kKeys = 6400;
+    std::vector<int> histogram(kBuckets, 0);
+    for (std::uint64_t k = 0; k < kKeys; ++k) ++histogram[mix_hash(k) & (kBuckets - 1)];
+    for (int count : histogram) {
+        EXPECT_GT(count, 50);   // ±50% of the 100 expected
+        EXPECT_LT(count, 150);
+    }
+}
+
+class HashMapParam : public ::testing::TestWithParam<std::size_t /*buckets*/> {};
+
+TEST_P(HashMapParam, SetSemanticsAgainstReference) {
+    HashMapOrc<Key> map(GetParam());
+    std::vector<bool> reference(512, false);
+    Xoshiro256 rng(4096);
+    for (int i = 0; i < 20000; ++i) {
+        const Key k = rng.next_bounded(512);
+        switch (rng.next_bounded(3)) {
+            case 0:
+                EXPECT_EQ(map.insert(k), !reference[k]) << "key " << k;
+                reference[k] = true;
+                break;
+            case 1:
+                EXPECT_EQ(map.remove(k), reference[k]) << "key " << k;
+                reference[k] = false;
+                break;
+            default:
+                EXPECT_EQ(map.contains(k), static_cast<bool>(reference[k])) << "key " << k;
+        }
+    }
+}
+
+TEST_P(HashMapParam, ConcurrentContestedKeysLinearizable) {
+    constexpr int kThreads = 6;
+    constexpr Key kKeyRange = 64;
+    constexpr int kOpsEach = 3000;
+    HashMapOrc<Key> map(GetParam());
+    std::atomic<std::int64_t> ins[kKeyRange] = {};
+    std::atomic<std::int64_t> rem[kKeyRange] = {};
+    SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Xoshiro256 rng(606 + t);
+            barrier.arrive_and_wait();
+            for (int i = 0; i < kOpsEach; ++i) {
+                const Key k = rng.next_bounded(kKeyRange);
+                if (rng.next_bounded(2) == 0) {
+                    if (map.insert(k)) ins[k].fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    if (map.remove(k)) rem[k].fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (Key k = 0; k < kKeyRange; ++k) {
+        const auto balance = ins[k].load() - rem[k].load();
+        ASSERT_GE(balance, 0);
+        ASSERT_LE(balance, 1);
+        EXPECT_EQ(map.contains(k), balance == 1) << "key " << k;
+    }
+}
+
+TEST_P(HashMapParam, NoLeaksUnderConcurrentChurn) {
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        HashMapOrc<Key> map(GetParam());
+        constexpr int kThreads = 4;
+        SpinBarrier barrier(kThreads);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                Xoshiro256 rng(515 * (t + 1));
+                barrier.arrive_and_wait();
+                for (int i = 0; i < 3000; ++i) {
+                    const Key k = rng.next_bounded(96);
+                    if (rng.next_bounded(2) == 0) {
+                        map.insert(k);
+                    } else {
+                        map.remove(k);
+                    }
+                }
+            });
+        }
+        for (auto& th : threads) th.join();
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+    EXPECT_EQ(counters.double_destroys(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, HashMapParam, ::testing::Values(1, 4, 64, 1024),
+                         [](const auto& info) { return "b" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace orcgc

@@ -1,0 +1,249 @@
+// Typed tests for every ordered-set (linked-list) variant in the library:
+// Michael's list under all seven manual reclamation schemes, and the three
+// OrcGC-annotated lists (Michael, Harris original, Herlihy–Shavit wait-free
+// lookups). All share the insert/remove/contains API, so one suite covers
+// sequential semantics, concurrent linearizability-style invariants and
+// reclamation soundness uniformly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_tracker.hpp"
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "ds/michael_list.hpp"
+#include "ds/orc/harris_list_orc.hpp"
+#include "ds/orc/hs_list_orc.hpp"
+#include "ds/orc/michael_list_orc.hpp"
+#include "reclamation/reclamation.hpp"
+
+namespace orcgc {
+namespace {
+
+using Key = std::uint64_t;
+
+template <typename ListT>
+class ListTest : public ::testing::Test {};
+
+using ListTypes = ::testing::Types<
+    MichaelList<Key, ReclaimerNone>, MichaelList<Key, HazardPointers>,
+    MichaelList<Key, PassTheBuck>, MichaelList<Key, EpochBasedReclaimer>,
+    MichaelList<Key, HazardEras>, MichaelList<Key, IntervalBasedReclaimer>,
+    MichaelList<Key, PassThePointer>, MichaelListOrc<Key>, HarrisListOrc<Key>, HSListOrc<Key>>;
+TYPED_TEST_SUITE(ListTest, ListTypes);
+
+TYPED_TEST(ListTest, EmptyListContainsNothing) {
+    TypeParam list;
+    EXPECT_FALSE(list.contains(0));
+    EXPECT_FALSE(list.contains(42));
+    EXPECT_FALSE(list.remove(42));
+}
+
+TYPED_TEST(ListTest, InsertThenContains) {
+    TypeParam list;
+    EXPECT_TRUE(list.insert(5));
+    EXPECT_TRUE(list.contains(5));
+    EXPECT_FALSE(list.contains(4));
+    EXPECT_FALSE(list.contains(6));
+}
+
+TYPED_TEST(ListTest, DuplicateInsertFails) {
+    TypeParam list;
+    EXPECT_TRUE(list.insert(7));
+    EXPECT_FALSE(list.insert(7));
+    EXPECT_TRUE(list.contains(7));
+}
+
+TYPED_TEST(ListTest, RemoveMakesKeyAbsent) {
+    TypeParam list;
+    EXPECT_TRUE(list.insert(3));
+    EXPECT_TRUE(list.remove(3));
+    EXPECT_FALSE(list.contains(3));
+    EXPECT_FALSE(list.remove(3));
+    EXPECT_TRUE(list.insert(3));  // re-insertable after removal
+    EXPECT_TRUE(list.contains(3));
+}
+
+TYPED_TEST(ListTest, ManyKeysAllOrderings) {
+    TypeParam list;
+    // Insert in a scrambled order; the list must behave as a set regardless.
+    constexpr Key kN = 200;
+    Xoshiro256 rng(123);
+    std::vector<Key> keys;
+    for (Key k = 0; k < kN; ++k) keys.push_back(k);
+    for (Key i = kN - 1; i > 0; --i) std::swap(keys[i], keys[rng.next_bounded(i + 1)]);
+    for (Key k : keys) EXPECT_TRUE(list.insert(k));
+    for (Key k = 0; k < kN; ++k) EXPECT_TRUE(list.contains(k));
+    EXPECT_FALSE(list.contains(kN));
+    // Remove the even keys.
+    for (Key k = 0; k < kN; k += 2) EXPECT_TRUE(list.remove(k));
+    for (Key k = 0; k < kN; ++k) EXPECT_EQ(list.contains(k), k % 2 == 1);
+}
+
+TYPED_TEST(ListTest, BoundaryKeys) {
+    TypeParam list;
+    const Key lo = 0;
+    const Key hi = ~Key{0} >> 1;  // large but below any sentinel space
+    EXPECT_TRUE(list.insert(lo));
+    EXPECT_TRUE(list.insert(hi));
+    EXPECT_TRUE(list.contains(lo));
+    EXPECT_TRUE(list.contains(hi));
+    EXPECT_TRUE(list.remove(lo));
+    EXPECT_FALSE(list.contains(lo));
+    EXPECT_TRUE(list.contains(hi));
+}
+
+TYPED_TEST(ListTest, NoLeaksAfterChurnAndDestruction) {
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        TypeParam list;
+        for (Key k = 0; k < 300; ++k) list.insert(k);
+        for (Key k = 0; k < 300; k += 3) list.remove(k);
+        for (Key k = 0; k < 300; ++k) list.insert(k ^ 0x155);
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+    EXPECT_EQ(counters.double_destroys(), 0);
+}
+
+TYPED_TEST(ListTest, ConcurrentDisjointKeyRanges) {
+    // Each thread owns keys ≡ tid (mod kThreads); no cross-thread conflicts,
+    // so every operation must succeed and the final state is deterministic.
+    constexpr int kThreads = 4;
+    constexpr Key kPerThread = 400;
+    TypeParam list;
+    SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            barrier.arrive_and_wait();
+            for (Key i = 0; i < kPerThread; ++i) {
+                const Key k = i * kThreads + t;
+                ASSERT_TRUE(list.insert(k));
+                ASSERT_TRUE(list.contains(k));
+            }
+            for (Key i = 0; i < kPerThread; i += 2) {
+                const Key k = i * kThreads + t;
+                ASSERT_TRUE(list.remove(k));
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kThreads; ++t) {
+        for (Key i = 0; i < kPerThread; ++i) {
+            const Key k = i * kThreads + t;
+            EXPECT_EQ(list.contains(k), i % 2 == 1) << "key " << k;
+        }
+    }
+}
+
+TYPED_TEST(ListTest, ConcurrentContestedKeysLinearizable) {
+    // All threads fight over a small key range. Per key, successful inserts
+    // and removes must alternate, so (#ins - #rem) ∈ {0, 1} and equals the
+    // key's final presence — a linearizability witness for set semantics.
+    constexpr int kThreads = 6;
+    constexpr Key kKeyRange = 16;
+    constexpr int kOpsEach = 4000;
+    TypeParam list;
+    std::atomic<std::int64_t> ins[kKeyRange] = {};
+    std::atomic<std::int64_t> rem[kKeyRange] = {};
+    SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Xoshiro256 rng(1000 + t);
+            barrier.arrive_and_wait();
+            for (int i = 0; i < kOpsEach; ++i) {
+                const Key k = rng.next_bounded(kKeyRange);
+                if (rng.next_bounded(2) == 0) {
+                    if (list.insert(k)) ins[k].fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    if (list.remove(k)) rem[k].fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (Key k = 0; k < kKeyRange; ++k) {
+        const auto balance = ins[k].load() - rem[k].load();
+        ASSERT_GE(balance, 0) << "key " << k;
+        ASSERT_LE(balance, 1) << "key " << k;
+        EXPECT_EQ(list.contains(k), balance == 1) << "key " << k;
+    }
+}
+
+TYPED_TEST(ListTest, ConcurrentReadersDuringChurn) {
+    // Writers toggle a key window while readers hammer contains(); odd keys
+    // are immutable ground truth the readers can assert on.
+    constexpr int kWriters = 3;
+    constexpr int kReaders = 3;
+    constexpr Key kRange = 64;
+    constexpr int kOpsEach = 5000;
+    TypeParam list;
+    for (Key k = 1; k < kRange; k += 2) ASSERT_TRUE(list.insert(k));
+    SpinBarrier barrier(kWriters + kReaders);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kWriters; ++t) {
+        threads.emplace_back([&, t] {
+            Xoshiro256 rng(77 + t);
+            barrier.arrive_and_wait();
+            for (int i = 0; i < kOpsEach; ++i) {
+                const Key k = rng.next_bounded(kRange / 2) * 2;  // even keys only
+                if (rng.next_bounded(2) == 0) {
+                    list.insert(k);
+                } else {
+                    list.remove(k);
+                }
+            }
+        });
+    }
+    for (int t = 0; t < kReaders; ++t) {
+        threads.emplace_back([&, t] {
+            Xoshiro256 rng(99 + t);
+            barrier.arrive_and_wait();
+            for (int i = 0; i < kOpsEach; ++i) {
+                const Key k = rng.next_bounded(kRange);
+                const bool present = list.contains(k);
+                if (k % 2 == 1) {
+                    ASSERT_TRUE(present) << "immutable key " << k << " vanished";
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+}
+
+TYPED_TEST(ListTest, NoLeaksUnderConcurrentChurn) {
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        TypeParam list;
+        constexpr int kThreads = 4;
+        constexpr int kOpsEach = 3000;
+        SpinBarrier barrier(kThreads);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                Xoshiro256 rng(31 * t + 1);
+                barrier.arrive_and_wait();
+                for (int i = 0; i < kOpsEach; ++i) {
+                    const Key k = rng.next_bounded(32);
+                    if (rng.next_bounded(2) == 0) {
+                        list.insert(k);
+                    } else {
+                        list.remove(k);
+                    }
+                }
+            });
+        }
+        for (auto& th : threads) th.join();
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+    EXPECT_EQ(counters.double_destroys(), 0);
+}
+
+}  // namespace
+}  // namespace orcgc

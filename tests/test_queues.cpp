@@ -1,0 +1,198 @@
+// Typed tests for every MPMC queue in the library: the Michael–Scott queue
+// under each manual reclamation scheme, the OrcGC-annotated MS queue
+// (Algorithm 1), and the Kogan–Petrank wait-free queue (OrcGC-only,
+// obstacle 1). All share the enqueue/dequeue(optional) API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_tracker.hpp"
+#include "common/barrier.hpp"
+#include "ds/ms_queue.hpp"
+#include "ds/orc/kp_queue_orc.hpp"
+#include "ds/orc/lcrq_orc.hpp"
+#include "ds/orc/ms_queue_orc.hpp"
+#include "reclamation/reclamation.hpp"
+
+namespace orcgc {
+namespace {
+
+using Value = std::uint64_t;
+
+template <typename QueueT>
+class QueueTest : public ::testing::Test {};
+
+using QueueTypes =
+    ::testing::Types<MSQueue<Value, ReclaimerNone>, MSQueue<Value, HazardPointers>,
+                     MSQueue<Value, PassTheBuck>, MSQueue<Value, EpochBasedReclaimer>,
+                     MSQueue<Value, HazardEras>, MSQueue<Value, IntervalBasedReclaimer>,
+                     MSQueue<Value, PassThePointer>, MSQueueOrc<Value>, KPQueueOrc<Value>,
+                     LCRQOrc<Value>, LCRQOrc<Value, 4>>;  // small ring exercises segment turnover
+TYPED_TEST_SUITE(QueueTest, QueueTypes);
+
+TYPED_TEST(QueueTest, EmptyDequeueReturnsNullopt) {
+    TypeParam queue;
+    EXPECT_FALSE(queue.dequeue().has_value());
+    EXPECT_TRUE(queue.empty());
+}
+
+TYPED_TEST(QueueTest, FifoOrderSingleThread) {
+    TypeParam queue;
+    for (Value i = 0; i < 500; ++i) queue.enqueue(i);
+    for (Value i = 0; i < 500; ++i) {
+        auto v = queue.dequeue();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(queue.dequeue().has_value());
+}
+
+TYPED_TEST(QueueTest, InterleavedEnqueueDequeue) {
+    TypeParam queue;
+    Value next_in = 0, next_out = 0;
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 3; ++i) queue.enqueue(next_in++);
+        for (int i = 0; i < 2; ++i) {
+            auto v = queue.dequeue();
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ(*v, next_out++);
+        }
+    }
+    while (next_out < next_in) {
+        auto v = queue.dequeue();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, next_out++);
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
+TYPED_TEST(QueueTest, DrainToEmptyRepeatedly) {
+    TypeParam queue;
+    for (int round = 0; round < 50; ++round) {
+        EXPECT_TRUE(queue.empty());
+        for (Value i = 0; i < 20; ++i) queue.enqueue(round * 100 + i);
+        EXPECT_FALSE(queue.empty());
+        for (Value i = 0; i < 20; ++i) {
+            auto v = queue.dequeue();
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ(*v, round * 100 + i);
+        }
+        EXPECT_FALSE(queue.dequeue().has_value());
+    }
+}
+
+TYPED_TEST(QueueTest, ConcurrentTransferNoLossNoDuplication) {
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr Value kPerProducer = 8000;
+    TypeParam queue;
+    std::vector<std::atomic<std::uint8_t>> seen(kProducers * kPerProducer);
+    std::atomic<std::uint64_t> consumed{0};
+    std::atomic<int> producers_left{kProducers};
+    SpinBarrier barrier(kProducers + kConsumers);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            barrier.arrive_and_wait();
+            for (Value i = 0; i < kPerProducer; ++i) queue.enqueue(p * kPerProducer + i);
+            producers_left.fetch_sub(1);
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            barrier.arrive_and_wait();
+            while (true) {
+                auto v = queue.dequeue();
+                if (!v.has_value()) {
+                    // Only stop once the queue is empty *after* observing all
+                    // producers done (re-check in that order, keep any value
+                    // a late producer slipped in).
+                    if (producers_left.load() != 0) continue;
+                    v = queue.dequeue();
+                    if (!v.has_value()) break;
+                }
+                ASSERT_EQ(seen[*v].fetch_add(1), 0) << "duplicate value " << *v;
+                consumed.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+    for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+    EXPECT_TRUE(queue.empty());
+}
+
+TYPED_TEST(QueueTest, PerProducerFifoPreserved) {
+    constexpr int kProducers = 3;
+    constexpr Value kPerProducer = 5000;
+    TypeParam queue;
+    SpinBarrier barrier(kProducers + 1);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            barrier.arrive_and_wait();
+            for (Value i = 0; i < kPerProducer; ++i) {
+                queue.enqueue((static_cast<Value>(p) << 32) | i);
+            }
+        });
+    }
+    std::thread consumer([&] {
+        barrier.arrive_and_wait();
+        Value last_seq[kProducers];
+        for (auto& v : last_seq) v = ~Value{0};
+        Value drained = 0;
+        while (drained < kProducers * kPerProducer) {
+            auto v = queue.dequeue();
+            if (!v.has_value()) continue;
+            const int p = static_cast<int>(*v >> 32);
+            const Value seq = *v & 0xFFFFFFFFu;
+            ASSERT_EQ(seq, last_seq[p] + 1) << "producer " << p << " order violated";
+            last_seq[p] = seq;
+            ++drained;
+        }
+    });
+    for (auto& t : producers) t.join();
+    consumer.join();
+}
+
+TYPED_TEST(QueueTest, DestructionWithItemsInsideDoesNotLeak) {
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        TypeParam queue;
+        for (Value i = 0; i < 100; ++i) queue.enqueue(i);
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+    EXPECT_EQ(counters.double_destroys(), 0);
+}
+
+TYPED_TEST(QueueTest, NoLeaksUnderConcurrentChurn) {
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        TypeParam queue;
+        constexpr int kThreads = 4;
+        SpinBarrier barrier(kThreads);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                barrier.arrive_and_wait();
+                for (int i = 0; i < 4000; ++i) {
+                    queue.enqueue(t * 10000 + i);
+                    queue.dequeue();
+                }
+            });
+        }
+        for (auto& t : threads) t.join();
+        while (queue.dequeue().has_value()) {
+        }
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+    EXPECT_EQ(counters.double_destroys(), 0);
+}
+
+}  // namespace
+}  // namespace orcgc

@@ -1,0 +1,204 @@
+// Typed tests for the Natarajan–Mittal external BST: manual variants under
+// the schemes that are sound for its unvalidated seek (None and quiescent
+// EBR — see nm_tree.hpp header; HE and our 2GEIBR are *not* sound here:
+// ASan/TSan runs catch the resulting use-after-free) plus OrcGC.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_tracker.hpp"
+#include "common/barrier.hpp"
+#include "common/rng.hpp"
+#include "ds/nm_tree.hpp"
+#include "ds/orc/nm_tree_orc.hpp"
+#include "reclamation/reclamation.hpp"
+
+namespace orcgc {
+namespace {
+
+using Key = std::uint64_t;
+
+template <typename TreeT>
+class TreeTest : public ::testing::Test {};
+
+using TreeTypes = ::testing::Types<NMTree<Key, ReclaimerNone>,
+                                   NMTree<Key, EpochBasedReclaimer>, NMTreeOrc<Key>>;
+TYPED_TEST_SUITE(TreeTest, TreeTypes);
+
+TYPED_TEST(TreeTest, EmptyTree) {
+    TypeParam tree;
+    EXPECT_FALSE(tree.contains(1));
+    EXPECT_FALSE(tree.remove(1));
+}
+
+TYPED_TEST(TreeTest, InsertContainsRemove) {
+    TypeParam tree;
+    EXPECT_TRUE(tree.insert(10));
+    EXPECT_TRUE(tree.contains(10));
+    EXPECT_FALSE(tree.insert(10));
+    EXPECT_TRUE(tree.remove(10));
+    EXPECT_FALSE(tree.contains(10));
+    EXPECT_FALSE(tree.remove(10));
+}
+
+TYPED_TEST(TreeTest, ReinsertAfterRemove) {
+    TypeParam tree;
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_TRUE(tree.insert(7));
+        EXPECT_TRUE(tree.contains(7));
+        EXPECT_TRUE(tree.remove(7));
+        EXPECT_FALSE(tree.contains(7));
+    }
+}
+
+TYPED_TEST(TreeTest, SortedAndReverseSortedInserts) {
+    // Degenerate shapes: external BST devolves into a spine; semantics must
+    // be unaffected.
+    TypeParam tree;
+    for (Key k = 0; k < 128; ++k) EXPECT_TRUE(tree.insert(k));
+    for (Key k = 0; k < 128; ++k) EXPECT_TRUE(tree.contains(k));
+    for (Key k = 0; k < 128; ++k) EXPECT_TRUE(tree.remove(k));
+    for (Key k = 300; k > 200; --k) EXPECT_TRUE(tree.insert(k));
+    for (Key k = 300; k > 200; --k) EXPECT_TRUE(tree.contains(k));
+}
+
+TYPED_TEST(TreeTest, RandomizedAgainstReferenceSet) {
+    TypeParam tree;
+    std::vector<bool> reference(512, false);
+    Xoshiro256 rng(2024);
+    for (int i = 0; i < 20000; ++i) {
+        const Key k = rng.next_bounded(512);
+        switch (rng.next_bounded(3)) {
+            case 0:
+                EXPECT_EQ(tree.insert(k), !reference[k]) << "key " << k;
+                reference[k] = true;
+                break;
+            case 1:
+                EXPECT_EQ(tree.remove(k), reference[k]) << "key " << k;
+                reference[k] = false;
+                break;
+            default:
+                EXPECT_EQ(tree.contains(k), static_cast<bool>(reference[k])) << "key " << k;
+        }
+    }
+}
+
+TYPED_TEST(TreeTest, MaxUserKeyIsUsable) {
+    TypeParam tree;
+    const Key k = TypeParam::max_user_key();
+    EXPECT_TRUE(tree.insert(k));
+    EXPECT_TRUE(tree.contains(k));
+    EXPECT_TRUE(tree.remove(k));
+}
+
+TYPED_TEST(TreeTest, NoLeaksAfterChurnAndDestruction) {
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        TypeParam tree;
+        Xoshiro256 rng(5);
+        for (int i = 0; i < 5000; ++i) {
+            const Key k = rng.next_bounded(128);
+            if (rng.next_bounded(2) == 0) {
+                tree.insert(k);
+            } else {
+                tree.remove(k);
+            }
+        }
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+    EXPECT_EQ(counters.double_destroys(), 0);
+}
+
+TYPED_TEST(TreeTest, ConcurrentDisjointKeyRanges) {
+    constexpr int kThreads = 4;
+    constexpr Key kPerThread = 300;
+    TypeParam tree;
+    SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            barrier.arrive_and_wait();
+            for (Key i = 0; i < kPerThread; ++i) {
+                const Key k = i * kThreads + t;
+                ASSERT_TRUE(tree.insert(k));
+                ASSERT_TRUE(tree.contains(k));
+            }
+            for (Key i = 0; i < kPerThread; i += 2) {
+                ASSERT_TRUE(tree.remove(i * kThreads + t));
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kThreads; ++t) {
+        for (Key i = 0; i < kPerThread; ++i) {
+            EXPECT_EQ(tree.contains(i * kThreads + t), i % 2 == 1);
+        }
+    }
+}
+
+TYPED_TEST(TreeTest, ConcurrentContestedKeysLinearizable) {
+    constexpr int kThreads = 6;
+    constexpr Key kKeyRange = 12;
+    constexpr int kOpsEach = 4000;
+    TypeParam tree;
+    std::atomic<std::int64_t> ins[kKeyRange] = {};
+    std::atomic<std::int64_t> rem[kKeyRange] = {};
+    SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Xoshiro256 rng(500 + t);
+            barrier.arrive_and_wait();
+            for (int i = 0; i < kOpsEach; ++i) {
+                const Key k = rng.next_bounded(kKeyRange);
+                if (rng.next_bounded(2) == 0) {
+                    if (tree.insert(k)) ins[k].fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    if (tree.remove(k)) rem[k].fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (Key k = 0; k < kKeyRange; ++k) {
+        const auto balance = ins[k].load() - rem[k].load();
+        ASSERT_GE(balance, 0) << "key " << k;
+        ASSERT_LE(balance, 1) << "key " << k;
+        EXPECT_EQ(tree.contains(k), balance == 1) << "key " << k;
+    }
+}
+
+TYPED_TEST(TreeTest, NoLeaksUnderConcurrentChurn) {
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        TypeParam tree;
+        constexpr int kThreads = 4;
+        SpinBarrier barrier(kThreads);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                Xoshiro256 rng(91 * t + 3);
+                barrier.arrive_and_wait();
+                for (int i = 0; i < 3000; ++i) {
+                    const Key k = rng.next_bounded(48);
+                    if (rng.next_bounded(2) == 0) {
+                        tree.insert(k);
+                    } else {
+                        tree.remove(k);
+                    }
+                }
+            });
+        }
+        for (auto& th : threads) th.join();
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+    EXPECT_EQ(counters.double_destroys(), 0);
+}
+
+}  // namespace
+}  // namespace orcgc

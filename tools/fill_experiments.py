@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Splices measured benchmark output into EXPERIMENTS.md (idempotent).
+
+Usage: tools/fill_experiments.py [bench_output.txt]
+
+Each experiment section in EXPERIMENTS.md carries one plain fenced code
+block of measured rows. This script regenerates every such block from a
+`for b in build/bench/*; do $b; done` transcript: a fenced block whose first
+line (or `<<TOKEN>>` placeholder) matches a row family is replaced with that
+family's current rows. Language-tagged fences (```sh etc.) are left alone.
+"""
+import re
+import sys
+
+SECTIONS = {
+    "QUEUES": r"^queues\(fig1/2\)",
+    "LISTS_SCHEMES": r"^list-1k\(fig3/4\)",
+    "LISTS_ORC": r"^lists-orc\(fig5/6\)",
+    "TREE_SKIP": r"^tree-skip\(fig7/8\)",
+    "MEMORY_BOUND": r"^memory-bound\(tab1\)",
+    "FOOTPRINT": r"^skip-footprint",
+    "PUBLISH": r"^BM_(Publish|Protect)",
+    "OVERHEAD": r"^BM_(Std|Orc|New|Make)",
+}
+
+
+def rows_for(lines, pattern):
+    rx = re.compile(pattern)
+    return [ln.rstrip() for ln in lines if rx.search(ln)]
+
+
+def main() -> int:
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    bench_lines = open(bench_path, encoding="utf-8", errors="replace").read().splitlines()
+    doc_lines = open("EXPERIMENTS.md", encoding="utf-8").read().splitlines()
+
+    out = []
+    i = 0
+    while i < len(doc_lines):
+        line = doc_lines[i]
+        if line.startswith("```"):  # opening fence (tagged or plain)
+            # Collect the block body up to the closing fence.
+            j = i + 1
+            body = []
+            while j < len(doc_lines) and not doc_lines[j].startswith("```"):
+                body.append(doc_lines[j])
+                j += 1
+            first = body[0] if body else ""
+            replaced = False
+            if line.strip() == "```":  # only plain fences are replaceable
+                for token, pattern in SECTIONS.items():
+                    if first.startswith(f"<<{token}>>") or re.search(pattern, first):
+                        rows = rows_for(bench_lines, pattern)
+                        out.append("```")
+                        out.extend(rows if rows else ["(no rows captured - rerun the bench)"])
+                        out.append("```")
+                        replaced = True
+                        break
+            if not replaced:
+                out.append(line)
+                out.extend(body)
+                out.append("```")
+            i = j + 1
+            continue
+        out.append(line)
+        i += 1
+
+    open("EXPERIMENTS.md", "w", encoding="utf-8").write("\n".join(out) + "\n")
+    print("EXPERIMENTS.md updated from", bench_path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

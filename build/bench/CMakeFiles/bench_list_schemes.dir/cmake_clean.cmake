@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_list_schemes.dir/bench_list_schemes.cpp.o"
+  "CMakeFiles/bench_list_schemes.dir/bench_list_schemes.cpp.o.d"
+  "bench_list_schemes"
+  "bench_list_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_list_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lists_orc.dir/bench_lists_orc.cpp.o"
+  "CMakeFiles/bench_lists_orc.dir/bench_lists_orc.cpp.o.d"
+  "bench_lists_orc"
+  "bench_lists_orc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lists_orc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

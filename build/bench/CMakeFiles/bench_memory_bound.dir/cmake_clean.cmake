@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_bound.dir/bench_memory_bound.cpp.o"
+  "CMakeFiles/bench_memory_bound.dir/bench_memory_bound.cpp.o.d"
+  "bench_memory_bound"
+  "bench_memory_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

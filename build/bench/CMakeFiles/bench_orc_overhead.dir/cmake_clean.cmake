@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orc_overhead.dir/bench_orc_overhead.cpp.o"
+  "CMakeFiles/bench_orc_overhead.dir/bench_orc_overhead.cpp.o.d"
+  "bench_orc_overhead"
+  "bench_orc_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

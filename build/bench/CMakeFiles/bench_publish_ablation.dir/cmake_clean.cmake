@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_publish_ablation.dir/bench_publish_ablation.cpp.o"
+  "CMakeFiles/bench_publish_ablation.dir/bench_publish_ablation.cpp.o.d"
+  "bench_publish_ablation"
+  "bench_publish_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_publish_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

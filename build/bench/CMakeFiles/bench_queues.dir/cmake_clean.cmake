@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queues.dir/bench_queues.cpp.o"
+  "CMakeFiles/bench_queues.dir/bench_queues.cpp.o.d"
+  "bench_queues"
+  "bench_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skiplist_footprint.dir/bench_skiplist_footprint.cpp.o"
+  "CMakeFiles/bench_skiplist_footprint.dir/bench_skiplist_footprint.cpp.o.d"
+  "bench_skiplist_footprint"
+  "bench_skiplist_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skiplist_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_skiplist.dir/bench_tree_skiplist.cpp.o"
+  "CMakeFiles/bench_tree_skiplist.dir/bench_tree_skiplist.cpp.o.d"
+  "bench_tree_skiplist"
+  "bench_tree_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_bound_demo.dir/memory_bound_demo.cpp.o"
+  "CMakeFiles/memory_bound_demo.dir/memory_bound_demo.cpp.o.d"
+  "memory_bound_demo"
+  "memory_bound_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_bound_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_jobs.dir/priority_jobs.cpp.o"
+  "CMakeFiles/priority_jobs.dir/priority_jobs.cpp.o.d"
+  "priority_jobs"
+  "priority_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

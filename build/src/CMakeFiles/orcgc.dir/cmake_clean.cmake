@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orcgc.dir/common/alloc_tracker.cpp.o"
+  "CMakeFiles/orcgc.dir/common/alloc_tracker.cpp.o.d"
+  "CMakeFiles/orcgc.dir/common/thread_registry.cpp.o"
+  "CMakeFiles/orcgc.dir/common/thread_registry.cpp.o.d"
+  "liborcgc.a"
+  "liborcgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orcgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

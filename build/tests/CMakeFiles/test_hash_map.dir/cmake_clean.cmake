@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_map.dir/test_hash_map.cpp.o"
+  "CMakeFiles/test_hash_map.dir/test_hash_map.cpp.o.d"
+  "test_hash_map"
+  "test_hash_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lists.dir/test_lists.cpp.o"
+  "CMakeFiles/test_lists.dir/test_lists.cpp.o.d"
+  "test_lists"
+  "test_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

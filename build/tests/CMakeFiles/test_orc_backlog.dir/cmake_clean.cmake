@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orc_backlog.dir/test_orc_backlog.cpp.o"
+  "CMakeFiles/test_orc_backlog.dir/test_orc_backlog.cpp.o.d"
+  "test_orc_backlog"
+  "test_orc_backlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orc_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

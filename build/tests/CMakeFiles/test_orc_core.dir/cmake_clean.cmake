@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orc_core.dir/test_orc_core.cpp.o"
+  "CMakeFiles/test_orc_core.dir/test_orc_core.cpp.o.d"
+  "test_orc_core"
+  "test_orc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

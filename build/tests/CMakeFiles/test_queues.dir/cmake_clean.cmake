@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queues.dir/test_queues.cpp.o"
+  "CMakeFiles/test_queues.dir/test_queues.cpp.o.d"
+  "test_queues"
+  "test_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

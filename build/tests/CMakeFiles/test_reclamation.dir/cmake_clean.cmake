@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reclamation.dir/test_reclamation.cpp.o"
+  "CMakeFiles/test_reclamation.dir/test_reclamation.cpp.o.d"
+  "test_reclamation"
+  "test_reclamation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reclamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

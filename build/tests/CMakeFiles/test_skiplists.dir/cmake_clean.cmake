@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiplists.dir/test_skiplists.cpp.o"
+  "CMakeFiles/test_skiplists.dir/test_skiplists.cpp.o.d"
+  "test_skiplists"
+  "test_skiplists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiplists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -47,6 +47,7 @@ class ThreadRegistry {
   private:
     ThreadRegistry() = default;
 
+    // orc-lint: allow(R4) written only at thread start/exit (no hot-path contention); padding would spend 16KB on a cold array
     std::atomic<bool> used_[kMaxThreads] = {};
     std::atomic<int> watermark_{0};
     static constexpr int kMaxHooks = 16;

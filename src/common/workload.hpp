@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <string_view>
 
 #include "common/rng.hpp"
@@ -42,6 +43,18 @@ inline SetOp next_op(Xoshiro256& rng, const OpMix& mix) {
 /// Uniform key in [0, key_range).
 inline std::uint64_t next_key(Xoshiro256& rng, std::uint64_t key_range) {
     return rng.next_bounded(key_range);
+}
+
+/// Iteration budget for stress loops. ORCGC_STRESS_ITERS, when set to a
+/// positive integer, overrides the compiled-in default so slow configurations
+/// (TSan runs 5–20x slower than native) can drive the same binaries with a
+/// smaller budget instead of maintaining a second set of constants.
+inline int stress_iters(int default_iters) {
+    if (const char* env = std::getenv("ORCGC_STRESS_ITERS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0 && parsed <= 1000000) return static_cast<int>(parsed);
+    }
+    return default_iters;
 }
 
 }  // namespace orcgc

@@ -26,6 +26,7 @@
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
 #include "core/orc_base.hpp"
 
 namespace orcgc {
@@ -113,7 +114,9 @@ class OrcEngine {
 
     /// Publishes `ptr` (unmarked) at hp index `idx` with a full fence.
     void protect_ptr(orc_base* ptr, int idx) noexcept {
-        tl_[thread_id()].hp[idx].exchange(ptr, std::memory_order_seq_cst);
+        auto& slot = tl_[thread_id()].hp[idx];
+        tsan_release_protection(slot);
+        slot.exchange(ptr, std::memory_order_seq_cst);
     }
 
     /// Classic hazard-pointer acquire loop (Algorithm 2 lines 4–11): publish
@@ -127,6 +130,7 @@ class OrcEngine {
             T ptr = addr.load(std::memory_order_seq_cst);
             orc_base* base = to_base(ptr);
             if (base == pub) return ptr;
+            tsan_release_protection(hp);  // previous publication loses coverage
             hp.exchange(base, std::memory_order_seq_cst);
             pub = base;
         }
@@ -135,7 +139,9 @@ class OrcEngine {
     /// Scratch-slot (index 0) publication used while mutating _orc
     /// (Proposition 1). Must be paired with scratch_release().
     void scratch_protect(orc_base* ptr) noexcept {
-        tl_[thread_id()].hp[0].exchange(ptr, std::memory_order_seq_cst);
+        auto& slot = tl_[thread_id()].hp[0];
+        tsan_release_protection(slot);
+        slot.exchange(ptr, std::memory_order_seq_cst);
     }
 
     /// Clears the scratch slot and drains anything parked on it by a
@@ -214,6 +220,7 @@ class OrcEngine {
                 if (lorc2 != lorc) continue;  // _orc moved during the scan: revalidate
                 // Lemma 1: counter zero, token held, no hp found, sequence
                 // unchanged across the scan — safe to destroy.
+                ORC_ANNOTATE_HAPPENS_AFTER(ptr);
                 delete ptr;  // may push cascaded retires into recursive_list
                 break;
             }
@@ -257,8 +264,9 @@ class OrcEngine {
         for (int idx = 1; idx < kMaxHPs; ++idx) {
             if (t.used_haz[idx] != 0) {
                 std::fprintf(stderr, "  idx=%d used=%u hp=%p handover=%p\n", idx,
-                             t.used_haz[idx], (void*)t.hp[idx].load(),
-                             (void*)t.handovers[idx].load());
+                             t.used_haz[idx],
+                             (void*)t.hp[idx].load(std::memory_order_seq_cst),
+                             (void*)t.handovers[idx].load(std::memory_order_seq_cst));
             }
         }
     }
@@ -293,7 +301,10 @@ class OrcEngine {
         // Process teardown: anything still parked is unreachable by now.
         for (auto& t : tl_) {
             for (auto& h : t.handovers) {
-                if (orc_base* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) delete ptr;
+                if (orc_base* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) {
+                    ORC_ANNOTATE_HAPPENS_AFTER(ptr);
+                    delete ptr;
+                }
             }
         }
     }
@@ -304,6 +315,7 @@ class OrcEngine {
     void drain_thread(int tid) {
         auto& t = tl_[tid];
         for (int idx = 0; idx < kMaxHPs; ++idx) {
+            tsan_release_protection(t.hp[idx]);
             t.hp[idx].store(nullptr, std::memory_order_seq_cst);
             if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
                 retire(h);
@@ -315,6 +327,7 @@ class OrcEngine {
         // Release suffices for the clear (paper Alg. 2 line 14): a scanner
         // reading the stale non-null hp parks conservatively; only *publish*
         // needs the full fence.
+        tsan_release_protection(t.hp[idx]);
         t.hp[idx].store(nullptr, std::memory_order_release);
         if (t.handovers[idx].load(std::memory_order_seq_cst) != nullptr) {
             if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
@@ -350,6 +363,7 @@ class OrcEngine {
         auto& t = tl_[thread_id()];
         // Publish on scratch: we are about to mutate _orc of an object whose
         // token we are in the middle of dropping (Proposition 1).
+        tsan_release_protection(t.hp[0]);
         t.hp[0].exchange(ptr, std::memory_order_seq_cst);
         const std::uint64_t lorc =
             obj_sub_retired(ptr);

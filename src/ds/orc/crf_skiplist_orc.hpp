@@ -7,10 +7,13 @@
 // degrades (the paper measured ~19 GB of footprint for HS-skip vs <1 GB for
 // CRF-skip). CRF-skip restores the linear bound: after the winning remover
 // physically detaches its victim from every level, it *poisons* the victim's
-// next pointers (storing a reserved non-address value), which (a) drops the
-// victim's hard links, breaking any chain through it, and (b) signals
-// concurrent traversals standing on the victim to restart. contains() is
-// therefore lock-free rather than wait-free — the trade the paper calls out.
+// next pointers, which (a) drops the victim's hard links, breaking any chain
+// through it, and (b) signals concurrent traversals standing on the victim
+// to restart. contains() is therefore lock-free rather than wait-free — the
+// trade the paper calls out. The level-0 poison is a reserved non-address
+// flag (restart-only); upper-level poison is a marked pointer to the tail
+// sentinel, so that a victim re-linked by its slow inserter (obstacle 3)
+// stays snippable instead of trapping every traversal — see remove().
 #pragma once
 
 #include <cstdint>
@@ -56,6 +59,7 @@ class CRFSkipListOrc {
         orc_ptr<Node*> tail = make_orc<Node>(K{}, Node::Rank::kTail, kSkipListMaxLevel - 1);
         for (int level = 0; level < kSkipListMaxLevel; ++level) head->next[level].store(tail);
         head_.store(head);
+        tail_.store(tail);
     }
 
     CRFSkipListOrc(const CRFSkipListOrc&) = delete;
@@ -80,7 +84,20 @@ class CRFSkipListOrc {
                         !node->next[level].cas(cur, succs[level])) {
                         continue;
                     }
-                    if (preds[level]->next[level].cas(succs[level], node)) break;
+                    if (preds[level]->next[level].cas(succs[level], node)) {
+                        // Validate after publishing: a remover may have
+                        // marked (or already poisoned) the node between our
+                        // read of `cur` and the link above, in which case its
+                        // detach pass cannot have seen this link — undo it
+                        // ourselves so the node is not left reachable. If
+                        // the undo CAS fails, some walk snipped it already.
+                        orc_ptr<Node*> after = node->next[level].load();
+                        if (after.is_marked() || is_poison(after.get())) {
+                            preds[level]->next[level].cas(node, succs[level]);
+                            return true;
+                        }
+                        break;
+                    }
                     find(key, preds, succs);
                 }
             }
@@ -106,18 +123,36 @@ class CRFSkipListOrc {
             if (succ.is_marked() || is_poison(succ.get())) return false;  // lost the race
             if (!victim->next[0].cas(succ, get_marked(succ.get()))) continue;
             // We own the removal: detach from every level, then poison.
-            find(key, preds, succs);  // snips along the search path
+            // find() alone cannot be trusted to do the detaching — its walk
+            // stops at the first key-equal node, so a marked victim sitting
+            // behind a freshly inserted node of the same key is never
+            // visited, never snipped, and a passive "is it still linked?"
+            // check spins forever once other threads go quiescent. The purge
+            // walk continues through the whole equal-key run and snips every
+            // marked node it passes, so each pass makes progress; the loop
+            // only repeats if the victim's own inserter re-linked it
+            // (obstacle 3), which it does at most once per level.
             for (int level = victim->top_level; level >= 0; --level) {
-                // The sorted-chain invariant puts any (re)link of the marked
-                // victim forward of the fresh window's predecessor, so the
-                // confirmation walk is a short bracket scan, not a level scan.
-                while (linked_at(victim.get(), key, level, preds[level])) {
-                    find(key, preds, succs);
+                while (purge_level(victim.get(), key, level)) {
                 }
             }
-            for (int level = 0; level <= victim->top_level; ++level) {
-                victim->next[level].store(poison());  // break the chain
+            // Poison: drop the victim's hard links so chains through it
+            // break. The two forms differ because the two failure modes
+            // differ. Level 0 cannot be re-linked (the bottom link happens
+            // before the node is public), so an unreachable restart-flag is
+            // safe there and forces any reader still standing on the victim
+            // to retry rather than silently walk past live keys. Upper
+            // levels CAN be re-linked by a slow inserter after our purge
+            // confirmed them detached — so their poison must stay
+            // *snippable*: a marked pointer to the (immortal, already
+            // retained) tail sentinel, which any later walk removes like an
+            // ordinary marked node. An unreachable flag there would wedge
+            // every traversal forever the first time a relink landed.
+            orc_ptr<Node*> t = tail_.load();
+            for (int level = 1; level <= victim->top_level; ++level) {
+                victim->next[level].store(get_marked(t.get()));
             }
+            victim->next[0].store(poison());
             return true;
         }
     }
@@ -208,36 +243,51 @@ class CRFSkipListOrc {
         return curr->equals(key) ? 1 : 0;
     }
 
-    /// Is `victim` still physically reachable at `level`? Walks forward from
-    /// `start` (the fresh find's predecessor at that level) by pointer
-    /// identity — a fresh node may carry the same key — until the first node
-    /// strictly past the key. Any anomaly (poison underfoot) restarts the
-    /// walk from the head, which is always safe, just slower.
-    bool linked_at(Node* victim, K key, int level, const orc_ptr<Node*>& start) {
-        const int first = linked_at_attempt(victim, key, level, start);
-        if (first >= 0) return first != 0;
+    /// One detach pass over `level`: walks from the head through every node
+    /// whose key precedes *or equals* `key` — unlike find(), which breaks at
+    /// the first non-preceding node — snipping each marked node it steps
+    /// over, the victim included. Returns whether the victim was seen still
+    /// linked during the pass (a re-link by its inserter may follow, hence
+    /// the caller's loop). Lock-free: a pass either snips, walks forward, or
+    /// restarts because a competing CAS already changed the chain.
+    bool purge_level(Node* victim, K key, int level) {
         while (true) {
-            orc_ptr<Node*> from_head = head_.load();
-            const int result = linked_at_attempt(victim, key, level, from_head);
+            const int result = purge_level_attempt(victim, key, level);
             if (result >= 0) return result != 0;
         }
     }
 
-    int linked_at_attempt(Node* victim, K key, int level, const orc_ptr<Node*>& start) {
-        orc_ptr<Node*> curr = start;
+    /// -1 = retry, 0 = victim not encountered, 1 = victim seen linked.
+    int purge_level_attempt(Node* victim, K key, int level) {
+        bool saw_victim = false;
+        orc_ptr<Node*> pred = head_.load();
+        orc_ptr<Node*> curr = pred->next[level].load();
+        if (is_poison(curr.get())) return -1;
         curr.unmark();
         while (true) {
-            if (curr.unmarked() == victim) return 1;
-            if (!curr->precedes(key) && !curr->equals(key)) return 0;  // walked past
-            orc_ptr<Node*> next = curr->next[level].load();
-            if (is_poison(next.get())) return -1;  // stepped onto a detached node
-            next.unmark();
-            if (next.unmarked() == nullptr) return 0;
-            curr = std::move(next);
+            orc_ptr<Node*> succ = curr->next[level].load();
+            if (is_poison(succ.get())) return -1;
+            while (succ.is_marked()) {
+                if (curr.unmarked() == victim) saw_victim = true;
+                succ.unmark();
+                if (!pred->next[level].cas(curr, succ)) return -1;
+                curr = pred->next[level].load();
+                if (curr.is_marked() || is_poison(curr.get())) return -1;
+                succ = curr->next[level].load();
+                if (is_poison(succ.get())) return -1;
+            }
+            if (curr->precedes(key) || curr->equals(key)) {
+                pred = curr;
+                curr = std::move(succ);
+                curr.unmark();
+            } else {
+                return saw_victim ? 1 : 0;
+            }
         }
     }
 
     orc_atomic<Node*> head_;
+    orc_atomic<Node*> tail_;  // hard link keeps the upper-level poison target immortal
 };
 
 }  // namespace orcgc

@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "common/alloc_tracker.hpp"
+#include "common/cacheline.hpp"
 #include "common/thread_registry.hpp"
 #include "core/orc.hpp"
 
@@ -61,7 +62,7 @@ class KPQueueOrc {
         const long phase = max_phase_.fetch_add(1, std::memory_order_acq_rel) + 1;
         orc_ptr<Node*> node = make_orc<Node>(std::move(value), tid);
         orc_ptr<OpDesc*> desc = make_orc<OpDesc>(phase, true, true, node.get());
-        state_[tid].store(desc);
+        state_[tid]->store(desc);
         help(phase);
         help_finish_enqueue();
     }
@@ -70,12 +71,12 @@ class KPQueueOrc {
         const int tid = thread_id();
         const long phase = max_phase_.fetch_add(1, std::memory_order_acq_rel) + 1;
         orc_ptr<OpDesc*> desc = make_orc<OpDesc>(phase, true, false, nullptr);
-        state_[tid].store(desc);
+        state_[tid]->store(desc);
         help(phase);
         // Make sure the head has swung past the sentinel this op claimed
         // before returning — otherwise our own next dequeue could re-claim it.
         help_finish_dequeue();
-        orc_ptr<OpDesc*> final_desc = state_[tid].load();
+        orc_ptr<OpDesc*> final_desc = state_[tid]->load();
         orc_ptr<Node*> node = final_desc->node.load();
         if (node == nullptr) return std::nullopt;  // linearized on empty
         // `node` is the pre-dequeue sentinel; the taken value sits in its
@@ -91,7 +92,7 @@ class KPQueueOrc {
 
   private:
     bool is_still_pending(int tid, long phase) {
-        orc_ptr<OpDesc*> desc = state_[tid].load();
+        orc_ptr<OpDesc*> desc = state_[tid]->load();
         return desc != nullptr && desc->pending && desc->phase <= phase;
     }
 
@@ -100,7 +101,7 @@ class KPQueueOrc {
     void help(long phase) {
         const int wm = thread_id_watermark();
         for (int i = 0; i < wm; ++i) {
-            orc_ptr<OpDesc*> desc = state_[i].load();
+            orc_ptr<OpDesc*> desc = state_[i]->load();
             if (desc == nullptr || !desc->pending || desc->phase > phase) continue;
             if (desc->enqueue) {
                 help_enqueue(i, desc->phase);
@@ -117,7 +118,7 @@ class KPQueueOrc {
             if (last.get() != tail_.load_unsafe()) continue;
             if (next == nullptr) {  // queue tail is settled: try to link
                 if (!is_still_pending(tid, phase)) return;
-                orc_ptr<OpDesc*> desc = state_[tid].load();
+                orc_ptr<OpDesc*> desc = state_[tid]->load();
                 if (desc == nullptr || !desc->pending || desc->phase > phase) continue;
                 orc_ptr<Node*> node = desc->node.load();
                 if (last->next.cas(nullptr, node)) {
@@ -136,12 +137,12 @@ class KPQueueOrc {
         if (next == nullptr) return;
         const int tid = next->enq_tid;
         if (tid < 0) return;
-        orc_ptr<OpDesc*> cur_desc = state_[tid].load();
+        orc_ptr<OpDesc*> cur_desc = state_[tid]->load();
         if (last.get() != tail_.load_unsafe() || cur_desc == nullptr) return;
         if (cur_desc->node.load_unsafe() != next.get()) return;
         orc_ptr<OpDesc*> new_desc =
             make_orc<OpDesc>(cur_desc->phase, false, true, next.get());
-        state_[tid].cas(cur_desc, new_desc);
+        state_[tid]->cas(cur_desc, new_desc);
         tail_.cas(last, next);
     }
 
@@ -153,19 +154,19 @@ class KPQueueOrc {
             if (first.get() != head_.load_unsafe()) continue;
             if (first.get() == last.get()) {
                 if (next == nullptr) {  // queue empty: linearize the failure
-                    orc_ptr<OpDesc*> cur_desc = state_[tid].load();
+                    orc_ptr<OpDesc*> cur_desc = state_[tid]->load();
                     if (cur_desc == nullptr || !cur_desc->pending || cur_desc->phase > phase) {
                         return;
                     }
                     if (last.get() != tail_.load_unsafe()) continue;
                     orc_ptr<OpDesc*> new_desc =
                         make_orc<OpDesc>(cur_desc->phase, false, false, nullptr);
-                    state_[tid].cas(cur_desc, new_desc);
+                    state_[tid]->cas(cur_desc, new_desc);
                 } else {
                     help_finish_enqueue();  // tail lagging
                 }
             } else {
-                orc_ptr<OpDesc*> cur_desc = state_[tid].load();
+                orc_ptr<OpDesc*> cur_desc = state_[tid]->load();
                 if (cur_desc == nullptr || !cur_desc->pending || cur_desc->phase > phase) return;
                 orc_ptr<Node*> node = cur_desc->node.load();
                 if (first.get() != head_.load_unsafe()) continue;
@@ -173,7 +174,7 @@ class KPQueueOrc {
                     // Announce which sentinel this dequeue will consume.
                     orc_ptr<OpDesc*> new_desc =
                         make_orc<OpDesc>(cur_desc->phase, true, false, first.get());
-                    if (!state_[tid].cas(cur_desc, new_desc)) continue;
+                    if (!state_[tid]->cas(cur_desc, new_desc)) continue;
                 }
                 int expected = -1;
                 first->deq_tid.compare_exchange_strong(expected, tid,
@@ -188,18 +189,21 @@ class KPQueueOrc {
         orc_ptr<Node*> next = first->next.load();
         const int tid = first->deq_tid.load(std::memory_order_seq_cst);
         if (tid == -1) return;
-        orc_ptr<OpDesc*> cur_desc = state_[tid].load();
+        orc_ptr<OpDesc*> cur_desc = state_[tid]->load();
         if (first.get() != head_.load_unsafe() || next == nullptr) return;
         if (cur_desc == nullptr) return;
         orc_ptr<OpDesc*> new_desc = make_orc<OpDesc>(
             cur_desc->phase, false, false, cur_desc->node.load_unsafe());
-        state_[tid].cas(cur_desc, new_desc);
+        state_[tid]->cas(cur_desc, new_desc);
         head_.cas(first, next);
     }
 
     orc_atomic<Node*> head_;
     orc_atomic<Node*> tail_;
-    orc_atomic<OpDesc*> state_[kMaxThreads] = {};
+    // Announce slots are written by their owner and scanned by every helper;
+    // without padding, 16 adjacent descriptors share a line and each publish
+    // invalidates 15 other threads' reads.
+    CachelinePadded<orc_atomic<OpDesc*>> state_[kMaxThreads] = {};
     std::atomic<long> max_phase_{0};
 };
 

@@ -18,6 +18,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
 #include "reclamation/reclaimable.hpp"
 
 namespace orcgc {
@@ -46,6 +47,8 @@ class EpochBasedReclaimer {
 
     /// Leaves the critical section (quiescent state).
     void end_op() noexcept {
+        // Coarse reader release on the shared clock (see hazard_eras.hpp).
+        ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
         tl_[thread_id()].reservation.store(kQuiescent, std::memory_order_release);
     }
 
@@ -100,6 +103,7 @@ class EpochBasedReclaimer {
     }
 
     void collect(Slot& slot) {
+        ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
         const std::uint64_t cur = global_era().load(std::memory_order_acquire);
         std::vector<Retired> keep;
         keep.reserve(slot.retired.size());

@@ -18,6 +18,7 @@
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
 #include "reclamation/reclaimable.hpp"
 
 namespace orcgc {
@@ -43,6 +44,9 @@ class HazardEras {
     void begin_op() noexcept {}
 
     void end_op() noexcept {
+        // Coarse reader release: all accesses under the dropped reservations
+        // are done (era schemes cannot name the individual objects covered).
+        ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
         auto& eras = tl_[thread_id()].he;
         for (auto& e : eras) e.store(kEraNone, std::memory_order_release);
     }
@@ -54,7 +58,9 @@ class HazardEras {
             T* ptr = addr.load(std::memory_order_acquire);
             const std::uint64_t era = global_era().load(std::memory_order_acquire);
             if (era == prev_era) return ptr;
-            // Era moved: publish the new reservation and re-read.
+            // Era moved: publish the new reservation and re-read. Objects
+            // covered only by the old reservation lose protection here.
+            ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
             he.store(era, std::memory_order_seq_cst);
             prev_era = era;
         }
@@ -67,11 +73,13 @@ class HazardEras {
         auto& he = tl_[thread_id()].he[idx];
         const std::uint64_t era = global_era().load(std::memory_order_acquire);
         if (he.load(std::memory_order_relaxed) != era) {
+            ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
             he.store(era, std::memory_order_seq_cst);
         }
     }
 
     void clear_one(int idx) noexcept {
+        ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
         tl_[thread_id()].he[idx].store(kEraNone, std::memory_order_release);
     }
 
@@ -120,6 +128,9 @@ class HazardEras {
     }
 
     void scan(Slot& slot) {
+        // Pairs with the readers' coarse releases: anything the era scan
+        // below proves unprotected was released before this point.
+        ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
         const int wm = thread_id_watermark();
         std::vector<T*> keep;
         keep.reserve(slot.retired.size());

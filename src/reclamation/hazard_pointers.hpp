@@ -18,6 +18,7 @@
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
 
 namespace orcgc {
 
@@ -41,7 +42,10 @@ class HazardPointers {
     /// Clears all of the calling thread's hazard pointers.
     void end_op() noexcept {
         auto& hp = tl_[thread_id()].hp;
-        for (auto& h : hp) h.store(nullptr, std::memory_order_release);
+        for (auto& h : hp) {
+            tsan_release_protection(h);
+            h.store(nullptr, std::memory_order_release);
+        }
     }
 
     /// Publishes the pointer read from addr at hp slot `idx` and re-validates
@@ -53,6 +57,7 @@ class HazardPointers {
         for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
             if (get_unmarked(ptr) == pub) return ptr;
             pub = get_unmarked(ptr);
+            tsan_release_protection(hp);  // previous publication loses coverage
             hp.store(pub, std::memory_order_seq_cst);
         }
     }
@@ -60,11 +65,15 @@ class HazardPointers {
     /// Publishes `ptr` without validation; the caller must re-validate the
     /// source link before dereferencing.
     void protect_ptr(T* ptr, int idx) noexcept {
-        tl_[thread_id()].hp[idx].store(get_unmarked(ptr), std::memory_order_seq_cst);
+        auto& slot = tl_[thread_id()].hp[idx];
+        tsan_release_protection(slot);
+        slot.store(get_unmarked(ptr), std::memory_order_seq_cst);
     }
 
     void clear_one(int idx) noexcept {
-        tl_[thread_id()].hp[idx].store(nullptr, std::memory_order_release);
+        auto& slot = tl_[thread_id()].hp[idx];
+        tsan_release_protection(slot);
+        slot.store(nullptr, std::memory_order_release);
     }
 
     /// Buffers `ptr` (must be unreachable and unmarked) and scans when the
@@ -115,6 +124,7 @@ class HazardPointers {
             if (protected_) {
                 keep.push_back(ptr);
             } else {
+                ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // scan found no protection
                 delete ptr;
             }
         }

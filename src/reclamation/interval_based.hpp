@@ -21,6 +21,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
 #include "reclamation/reclaimable.hpp"
 
 namespace orcgc {
@@ -52,6 +53,8 @@ class IntervalBasedReclaimer {
     }
 
     void end_op() noexcept {
+        // Coarse reader release on the shared clock (see hazard_eras.hpp).
+        ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
         auto& slot = tl_[thread_id()];
         slot.lower.store(kEraNone, std::memory_order_release);
         slot.upper.store(kEraNone, std::memory_order_release);
@@ -66,6 +69,7 @@ class IntervalBasedReclaimer {
             T* ptr = addr.load(std::memory_order_acquire);
             const std::uint64_t era = global_era().load(std::memory_order_acquire);
             if (era == prev) return ptr;
+            ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
             slot.upper.store(era, std::memory_order_seq_cst);
             prev = era;
         }
@@ -74,6 +78,7 @@ class IntervalBasedReclaimer {
         auto& slot = tl_[thread_id()];
         const std::uint64_t era = global_era().load(std::memory_order_acquire);
         if (slot.upper.load(std::memory_order_relaxed) != era) {
+            ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
             slot.upper.store(era, std::memory_order_seq_cst);
         }
     }
@@ -126,6 +131,7 @@ class IntervalBasedReclaimer {
     }
 
     void scan(Slot& slot) {
+        ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
         const int wm = thread_id_watermark();
         std::vector<T*> keep;
         keep.reserve(slot.retired.size());

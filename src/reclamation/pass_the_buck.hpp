@@ -22,6 +22,7 @@
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
 
 namespace orcgc {
 
@@ -58,12 +59,15 @@ class PassTheBuck {
         for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
             if (get_unmarked(ptr) == pub) return ptr;
             pub = get_unmarked(ptr);
+            tsan_release_protection(guard);  // previous post loses coverage
             guard.store(pub, std::memory_order_seq_cst);
         }
     }
 
     void protect_ptr(T* ptr, int idx) noexcept {
-        tl_[thread_id()].guard[idx].store(get_unmarked(ptr), std::memory_order_seq_cst);
+        auto& slot = tl_[thread_id()].guard[idx];
+        tsan_release_protection(slot);
+        slot.store(get_unmarked(ptr), std::memory_order_seq_cst);
     }
 
     void clear_one(int idx) noexcept { clear_one_for(thread_id(), idx); }
@@ -112,6 +116,7 @@ class PassTheBuck {
 
     void clear_one_for(int tid, int idx) noexcept {
         auto& slot = tl_[tid];
+        tsan_release_protection(slot.guard[idx]);
         slot.guard[idx].store(nullptr, std::memory_order_seq_cst);
         // Collect any value trapped at this guard; we are now responsible
         // for liberating it.
@@ -165,6 +170,7 @@ class PassTheBuck {
             if (std::find(hazards.begin(), hazards.end(), ptr) != hazards.end()) {
                 keep.push_back(ptr);
             } else {
+                ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // liberate scan found no guard
                 delete ptr;
             }
         }

@@ -22,6 +22,7 @@
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
 
 namespace orcgc {
 
@@ -38,7 +39,10 @@ class PassThePointer {
         // Single-threaded teardown: anything still parked is unreachable.
         for (auto& slot : tl_) {
             for (auto& h : slot.handovers) {
-                if (T* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) delete ptr;
+                if (T* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) {
+                    ORC_ANNOTATE_HAPPENS_AFTER(ptr);
+                    delete ptr;
+                }
             }
         }
     }
@@ -59,12 +63,15 @@ class PassThePointer {
         for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
             if (get_unmarked(ptr) == pub) return ptr;
             pub = get_unmarked(ptr);
+            tsan_release_protection(hp);  // previous publication loses coverage
             hp.exchange(pub, std::memory_order_seq_cst);
         }
     }
 
     void protect_ptr(T* ptr, int idx) noexcept {
-        tl_[thread_id()].hp[idx].exchange(get_unmarked(ptr), std::memory_order_seq_cst);
+        auto& slot = tl_[thread_id()].hp[idx];
+        tsan_release_protection(slot);
+        slot.exchange(get_unmarked(ptr), std::memory_order_seq_cst);
     }
 
     /// Algorithm 2 lines 13–20: unpublish and drain the paired handover.
@@ -97,6 +104,7 @@ class PassThePointer {
 
     void clear_one_for(int tid, int idx) noexcept {
         auto& slot = tl_[tid];
+        tsan_release_protection(slot.hp[idx]);
         slot.hp[idx].store(nullptr, std::memory_order_release);
         if (slot.handovers[idx].load(std::memory_order_acquire) != nullptr) {
             if (T* ptr = slot.handovers[idx].exchange(nullptr, std::memory_order_acq_rel)) {
@@ -124,6 +132,7 @@ class PassThePointer {
                 ++idx;
             }
         }
+        ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // full scan found no protection
         delete ptr;
     }
 

@@ -22,6 +22,7 @@
 #include "ds/orc/michael_list_orc.hpp"
 #include "ds/orc/nm_tree_orc.hpp"
 #include "reclamation/reclamation.hpp"
+#include "common/workload.hpp"
 
 namespace orcgc {
 namespace {
@@ -62,7 +63,7 @@ std::vector<bool> run_tape(const std::vector<TapeEntry>& tape) {
 
 TEST(Differential, AllSetImplementationsAgreeOnRandomTapes) {
     for (std::uint64_t seed : {1ULL, 99ULL, 31337ULL}) {
-        const auto tape = make_tape(seed, 6000, 96);
+        const auto tape = make_tape(seed, stress_iters(6000), 96);
         const auto reference = run_tape<MichaelList<Key, HazardPointers>>(tape);
         EXPECT_EQ((run_tape<MichaelList<Key, PassThePointer>>(tape)), reference) << seed;
         EXPECT_EQ(run_tape<MichaelListOrc<Key>>(tape), reference) << seed;

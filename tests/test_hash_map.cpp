@@ -12,6 +12,7 @@
 #include "common/barrier.hpp"
 #include "common/rng.hpp"
 #include "ds/orc/hash_map_orc.hpp"
+#include "common/workload.hpp"
 
 namespace orcgc {
 namespace {
@@ -63,7 +64,7 @@ TEST_P(HashMapParam, SetSemanticsAgainstReference) {
 TEST_P(HashMapParam, ConcurrentContestedKeysLinearizable) {
     constexpr int kThreads = 6;
     constexpr Key kKeyRange = 64;
-    constexpr int kOpsEach = 3000;
+    const int kOpsEach = stress_iters(3000);
     HashMapOrc<Key> map(GetParam());
     std::atomic<std::int64_t> ins[kKeyRange] = {};
     std::atomic<std::int64_t> rem[kKeyRange] = {};
@@ -104,7 +105,8 @@ TEST_P(HashMapParam, NoLeaksUnderConcurrentChurn) {
             threads.emplace_back([&, t] {
                 Xoshiro256 rng(515 * (t + 1));
                 barrier.arrive_and_wait();
-                for (int i = 0; i < 3000; ++i) {
+                const int ops_each = stress_iters(3000);
+                for (int i = 0; i < ops_each; ++i) {
                     const Key k = rng.next_bounded(96);
                     if (rng.next_bounded(2) == 0) {
                         map.insert(k);
@@ -121,7 +123,7 @@ TEST_P(HashMapParam, NoLeaksUnderConcurrentChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Buckets, HashMapParam, ::testing::Values(1, 4, 64, 1024),
-                         [](const auto& info) { return "b" + std::to_string(info.param); });
+                         [](const auto& param_info) { return "b" + std::to_string(param_info.param); });
 
 }  // namespace
 }  // namespace orcgc

@@ -19,6 +19,7 @@
 #include "ds/orc/hs_list_orc.hpp"
 #include "ds/orc/michael_list_orc.hpp"
 #include "reclamation/reclamation.hpp"
+#include "common/workload.hpp"
 
 namespace orcgc {
 namespace {
@@ -146,7 +147,7 @@ TYPED_TEST(ListTest, ConcurrentContestedKeysLinearizable) {
     // key's final presence — a linearizability witness for set semantics.
     constexpr int kThreads = 6;
     constexpr Key kKeyRange = 16;
-    constexpr int kOpsEach = 4000;
+    const int kOpsEach = stress_iters(4000);
     TypeParam list;
     std::atomic<std::int64_t> ins[kKeyRange] = {};
     std::atomic<std::int64_t> rem[kKeyRange] = {};
@@ -181,7 +182,7 @@ TYPED_TEST(ListTest, ConcurrentReadersDuringChurn) {
     constexpr int kWriters = 3;
     constexpr int kReaders = 3;
     constexpr Key kRange = 64;
-    constexpr int kOpsEach = 5000;
+    const int kOpsEach = stress_iters(5000);
     TypeParam list;
     for (Key k = 1; k < kRange; k += 2) ASSERT_TRUE(list.insert(k));
     SpinBarrier barrier(kWriters + kReaders);
@@ -222,7 +223,7 @@ TYPED_TEST(ListTest, NoLeaksUnderConcurrentChurn) {
     {
         TypeParam list;
         constexpr int kThreads = 4;
-        constexpr int kOpsEach = 3000;
+        const int kOpsEach = stress_iters(3000);
         SpinBarrier barrier(kThreads);
         std::vector<std::thread> threads;
         for (int t = 0; t < kThreads; ++t) {

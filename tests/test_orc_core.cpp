@@ -11,6 +11,7 @@
 #include "common/barrier.hpp"
 #include "core/orc.hpp"
 #include "ds/orc/ms_queue_orc.hpp"
+#include "common/workload.hpp"
 
 namespace orcgc {
 namespace {
@@ -395,7 +396,7 @@ TEST(MSQueueOrc, NoLeaksUnderConcurrentChurn) {
     {
         MSQueueOrc<std::shared_ptr<Item>> queue;
         constexpr int kThreads = 6;
-        constexpr int kOpsEach = 5000;
+        const int kOpsEach = stress_iters(5000);
         SpinBarrier barrier(kThreads);
         std::vector<std::thread> threads;
         for (int t = 0; t < kThreads; ++t) {

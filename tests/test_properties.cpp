@@ -34,7 +34,7 @@ TEST_P(SetChurnProperty, OrcListKeepsSetSemanticsAndLeaksNothing) {
     const int threads = std::get<0>(GetParam());
     const OpMix& mix = kAllMixes[std::get<1>(GetParam())];
     constexpr Key kKeyRange = 24;
-    constexpr int kOpsEach = 2500;
+    const int kOpsEach = stress_iters(2500);
 
     auto& counters = AllocCounters::instance();
     const auto live_before = counters.live_count();
@@ -80,9 +80,9 @@ TEST_P(SetChurnProperty, OrcListKeepsSetSemanticsAndLeaksNothing) {
 INSTANTIATE_TEST_SUITE_P(ThreadsByMix, SetChurnProperty,
                          ::testing::Combine(::testing::Values(1, 2, 4, 8),
                                             ::testing::Values(0, 1, 2)),
-                         [](const auto& info) {
-                             return "t" + std::to_string(std::get<0>(info.param)) + "_mix" +
-                                    std::to_string(std::get<1>(info.param));
+                         [](const auto& param_info) {
+                             return "t" + std::to_string(std::get<0>(param_info.param)) +
+                                    "_mix" + std::to_string(std::get<1>(param_info.param));
                          });
 
 // ---------------------------------------------------- PTP bound vs threads
@@ -104,7 +104,8 @@ TEST_P(PtpBoundProperty, PeakUnreclaimedIsLinearInThreads) {
         workers.emplace_back([&, t] {
             Xoshiro256 rng(t);
             barrier.arrive_and_wait();
-            for (int i = 0; i < 2000; ++i) {
+            const int ops_each = stress_iters(2000);
+            for (int i = 0; i < ops_each; ++i) {
                 auto& link = links[rng.next_bounded(threads)];
                 Node* old = gc.get_protected(link, i % kHPs);
                 Node* fresh = new Node();
@@ -138,7 +139,7 @@ TEST_P(PtpBoundProperty, PeakUnreclaimedIsLinearInThreads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, PtpBoundProperty, ::testing::Values(1, 2, 4, 8),
-                         [](const auto& info) { return "t" + std::to_string(info.param); });
+                         [](const auto& param_info) { return "t" + std::to_string(param_info.param); });
 
 // -------------------------------------------------- queue transfer sweep
 
@@ -183,7 +184,7 @@ TEST_P(QueueTransferProperty, LCRQOrcSmallRing) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Pairs, QueueTransferProperty, ::testing::Values(1, 2, 4),
-                         [](const auto& info) { return "p" + std::to_string(info.param); });
+                         [](const auto& param_info) { return "p" + std::to_string(param_info.param); });
 
 // ------------------------------------------------------ engine edge cases
 

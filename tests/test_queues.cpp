@@ -16,6 +16,7 @@
 #include "ds/orc/lcrq_orc.hpp"
 #include "ds/orc/ms_queue_orc.hpp"
 #include "reclamation/reclamation.hpp"
+#include "common/workload.hpp"
 
 namespace orcgc {
 namespace {
@@ -87,7 +88,7 @@ TYPED_TEST(QueueTest, DrainToEmptyRepeatedly) {
 TYPED_TEST(QueueTest, ConcurrentTransferNoLossNoDuplication) {
     constexpr int kProducers = 3;
     constexpr int kConsumers = 3;
-    constexpr Value kPerProducer = 8000;
+    const Value kPerProducer = stress_iters(8000);
     TypeParam queue;
     std::vector<std::atomic<std::uint8_t>> seen(kProducers * kPerProducer);
     std::atomic<std::uint64_t> consumed{0};
@@ -127,7 +128,7 @@ TYPED_TEST(QueueTest, ConcurrentTransferNoLossNoDuplication) {
 
 TYPED_TEST(QueueTest, PerProducerFifoPreserved) {
     constexpr int kProducers = 3;
-    constexpr Value kPerProducer = 5000;
+    const Value kPerProducer = stress_iters(5000);
     TypeParam queue;
     SpinBarrier barrier(kProducers + 1);
     std::vector<std::thread> producers;
@@ -180,7 +181,8 @@ TYPED_TEST(QueueTest, NoLeaksUnderConcurrentChurn) {
         for (int t = 0; t < kThreads; ++t) {
             threads.emplace_back([&, t] {
                 barrier.arrive_and_wait();
-                for (int i = 0; i < 4000; ++i) {
+                const int ops_each = stress_iters(4000);
+                for (int i = 0; i < ops_each; ++i) {
                     queue.enqueue(t * 10000 + i);
                     queue.dequeue();
                 }

@@ -15,6 +15,7 @@
 #include "common/thread_registry.hpp"
 #include "core/orc_gc.hpp"
 #include "reclamation/reclamation.hpp"
+#include "common/workload.hpp"
 
 namespace orcgc {
 namespace {
@@ -62,7 +63,7 @@ TYPED_TEST(ReclaimerContractTest, ProtectedObjectSurvivesConcurrentRetire) {
     auto& counters = AllocCounters::instance();
     {
         TypeParam gc;
-        constexpr int kRounds = 300;
+        const int kRounds = stress_iters(300);
         std::atomic<TestNode*> link{nullptr};
         std::atomic<bool> stop{false};
         SpinBarrier barrier(2);
@@ -171,7 +172,8 @@ TEST(PassThePointer, LinearMemoryBoundUnderChurn) {
     for (int t = 0; t < kThreads; ++t) {
         threads.emplace_back([&, t] {
             barrier.arrive_and_wait();
-            for (int i = 0; i < 3000; ++i) {
+            const int ops_each = stress_iters(3000);
+            for (int i = 0; i < ops_each; ++i) {
                 // Protect a random link, replace the node, retire the old one.
                 auto& link = links[(t + i) % kThreads];
                 TestNode* old = gc.get_protected(link, i % kHPs);

@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "ds/orc/crf_skiplist_orc.hpp"
 #include "ds/orc/hs_skiplist_orc.hpp"
+#include "common/workload.hpp"
 
 namespace orcgc {
 namespace {
@@ -132,7 +133,7 @@ TYPED_TEST(SkipListTest, ConcurrentDisjointKeyRanges) {
 TYPED_TEST(SkipListTest, ConcurrentContestedKeysLinearizable) {
     constexpr int kThreads = 6;
     constexpr Key kKeyRange = 10;
-    constexpr int kOpsEach = 3000;
+    const int kOpsEach = stress_iters(3000);
     TypeParam sl;
     std::atomic<std::int64_t> ins[kKeyRange] = {};
     std::atomic<std::int64_t> rem[kKeyRange] = {};
@@ -165,7 +166,7 @@ TYPED_TEST(SkipListTest, ReinsertionChurnSingleKey) {
     // Obstacle 3 stressor: threads insert/remove the same key continuously,
     // exercising the half-inserted-node removal + re-link path.
     constexpr int kThreads = 4;
-    constexpr int kOpsEach = 5000;
+    const int kOpsEach = stress_iters(5000);
     TypeParam sl;
     SpinBarrier barrier(kThreads);
     std::vector<std::thread> threads;
@@ -204,7 +205,8 @@ TYPED_TEST(SkipListTest, NoLeaksUnderConcurrentChurn) {
             threads.emplace_back([&, t] {
                 Xoshiro256 rng(4242 * (t + 1));
                 barrier.arrive_and_wait();
-                for (int i = 0; i < 2500; ++i) {
+                const int ops_each = stress_iters(2500);
+                for (int i = 0; i < ops_each; ++i) {
                     const Key k = rng.next_bounded(40);
                     if (rng.next_bounded(2) == 0) {
                         sl.insert(k);

@@ -15,6 +15,7 @@
 #include "ds/nm_tree.hpp"
 #include "ds/orc/nm_tree_orc.hpp"
 #include "reclamation/reclamation.hpp"
+#include "common/workload.hpp"
 
 namespace orcgc {
 namespace {
@@ -143,7 +144,7 @@ TYPED_TEST(TreeTest, ConcurrentDisjointKeyRanges) {
 TYPED_TEST(TreeTest, ConcurrentContestedKeysLinearizable) {
     constexpr int kThreads = 6;
     constexpr Key kKeyRange = 12;
-    constexpr int kOpsEach = 4000;
+    const int kOpsEach = stress_iters(4000);
     TypeParam tree;
     std::atomic<std::int64_t> ins[kKeyRange] = {};
     std::atomic<std::int64_t> rem[kKeyRange] = {};
@@ -184,7 +185,8 @@ TYPED_TEST(TreeTest, NoLeaksUnderConcurrentChurn) {
             threads.emplace_back([&, t] {
                 Xoshiro256 rng(91 * t + 3);
                 barrier.arrive_and_wait();
-                for (int i = 0; i < 3000; ++i) {
+                const int ops_each = stress_iters(3000);
+                for (int i = 0; i < ops_each; ++i) {
                     const Key k = rng.next_bounded(48);
                     if (rng.next_bounded(2) == 0) {
                         tree.insert(k);

@@ -1,0 +1,22 @@
+// Fixture: every atomic access here relies on the implicit seq_cst default,
+// which R1 must flag (never compiled — linted only).
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct Counter {
+    std::atomic<int> v{0};
+    std::atomic<void*> p{nullptr};
+
+    int read() const { return v.load(); }
+    void write(int x) { v.store(x); }
+    void bump() { v.fetch_add(1); }
+    bool swap_in(int expected, int desired) {
+        return v.compare_exchange_strong(expected, desired);
+    }
+    void* take() { return p.exchange(nullptr); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: raw allocation in an OrcGC data structure — R2 must flag the
+// new/delete/malloc/free calls (never compiled — linted only).
+#pragma once
+
+#include <cstdlib>
+
+namespace fixture {
+
+struct Node {
+    int key;
+    Node* next;
+};
+
+inline Node* make_node(int k) {
+    return new Node{k, nullptr};
+}
+
+inline void drop_node(Node* n) {
+    delete n;
+}
+
+inline void* grab_buffer(std::size_t n) {
+    return std::malloc(n);
+}
+
+inline void drop_buffer(void* p) {
+    std::free(p);
+}
+
+}  // namespace fixture

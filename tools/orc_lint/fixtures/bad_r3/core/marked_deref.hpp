@@ -1,0 +1,27 @@
+// Fixture: dereferencing pointers that still carry mark bits — R3 must flag
+// both the direct and the escaped-variable form (never compiled — linted
+// only).
+#pragma once
+
+namespace fixture {
+
+struct Node {
+    int key;
+    Node* next;
+};
+
+template <typename T>
+T* get_marked(T* p) noexcept;
+template <typename T>
+T* get_unmarked(T* p) noexcept;
+
+inline int direct_deref(Node* p) {
+    return get_marked(p)->key;
+}
+
+inline int escaped_deref(Node* p) {
+    Node* m = get_marked(p);
+    return m->key;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: a per-thread array whose elements are not cacheline-padded — R4
+// must flag it (never compiled — linted only).
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+inline constexpr int kMaxThreads = 128;
+
+class Scheme {
+    std::atomic<int> reservations_[kMaxThreads] = {};
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: raw pointers escaping their orc_ptr protection scope and being
+// dereferenced — R5 must flag the direct .get()->, the load_unsafe()->, and
+// the escaped-variable forms (never compiled — linted only).
+#pragma once
+
+namespace fixture {
+
+template <typename P>
+int direct_get_deref(P& protected_ptr) {
+    return protected_ptr.get()->key;
+}
+
+template <typename A>
+int direct_unsafe_deref(A& link) {
+    return link.load_unsafe()->key;
+}
+
+template <typename P>
+int escaped_deref(P& protected_ptr) {
+    auto raw = protected_ptr.get();
+    return raw->key;
+}
+
+}  // namespace fixture

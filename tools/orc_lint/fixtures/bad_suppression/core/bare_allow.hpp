@@ -1,0 +1,15 @@
+// Fixture: an orc-lint suppression without a reason — the bare allow() is
+// itself an error and must not suppress the underlying diagnostic (never
+// compiled — linted only).
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct Counter {
+    std::atomic<int> v{0};
+    int read() const { return v.load(); }  // orc-lint: allow(R1)
+};
+
+}  // namespace fixture

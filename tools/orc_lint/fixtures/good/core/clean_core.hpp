@@ -1,0 +1,43 @@
+// Fixture: disciplined core-style code — explicit memory orders, padded
+// per-thread arrays, and a justified suppression. The linter must stay
+// silent on this entire tree (never compiled — linted only).
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+inline constexpr int kMaxThreads = 128;
+inline constexpr int kCacheLineSize = 128;
+
+template <typename T>
+struct CachelinePadded {
+    T value;
+};
+
+struct alignas(kCacheLineSize) Slot {
+    std::atomic<void*> hp{nullptr};
+};
+
+class Engine {
+  public:
+    void publish(void* ptr, int tid) {
+        tl_[tid].hp.store(ptr, std::memory_order_seq_cst);
+    }
+    void* read(int tid) const { return tl_[tid].hp.load(std::memory_order_acquire); }
+    void bump() { counter_.fetch_add(1, std::memory_order_relaxed); }
+    bool claim(int tid) {
+        bool expected = false;
+        return flags_[tid].value.compare_exchange_strong(expected, true,
+                                                         std::memory_order_acq_rel);
+    }
+
+  private:
+    Slot tl_[kMaxThreads];
+    CachelinePadded<std::atomic<bool>> flags_[kMaxThreads];
+    // orc-lint: allow(R4) observational counter sampled off the hot path only
+    std::atomic<int> samples_[kMaxThreads] = {};
+    std::atomic<long> counter_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: disciplined OrcGC data-structure code — allocation through
+// make_orc, unmark before dereference, dereference through the orc_ptr. The
+// linter must stay silent on this tree (never compiled — linted only).
+#pragma once
+
+namespace fixture {
+
+template <typename T>
+struct orc_ptr {
+    T get() const;
+    T operator->() const;
+};
+
+template <typename T>
+T* get_marked(T* p) noexcept;
+template <typename T>
+T* get_unmarked(T* p) noexcept;
+
+template <typename L>
+bool insert_like(L& list, int key) {
+    // Allocation goes through make_orc, never raw new.
+    auto node = list.template make_node(key);
+    auto curr = list.head_.load();
+    // Raw values may be compared and CASed, just not dereferenced.
+    if (curr.get() == nullptr) return false;
+    // Mark bits are stripped before any dereference.
+    auto* clean = get_unmarked(curr.get());
+    (void)clean;
+    // Dereference happens through the protecting orc_ptr.
+    return curr->key == key ? false : list.head_.cas(curr, node);
+}
+
+}  // namespace fixture

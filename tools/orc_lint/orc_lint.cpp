@@ -1,0 +1,707 @@
+// orc-lint: project-specific static checker for reclamation discipline.
+//
+// OrcGC's safety story is "automatic by construction" — but only if client
+// and engine code obey the usage discipline the paper's proofs assume. This
+// tool walks the source tree and mechanically enforces the rules that code
+// review keeps missing (token/line level on purpose: no libclang dependency,
+// runs in milliseconds as a ctest on every build):
+//
+//   R1  every std::atomic load/store/RMW in src/core/ and src/reclamation/
+//       must name an explicit memory_order — an implicit seq_cst reads as
+//       "the author did not think about ordering", which in reclamation code
+//       is indistinguishable from a bug.
+//   R2  no raw new/delete/malloc/free in src/ds/orc/ — OrcGC structures
+//       allocate through make_orc<T>() and free through retire; a stray
+//       delete bypasses the hazard scan and is a use-after-free factory.
+//   R3  a pointer produced by the marked_ptr.hpp bit-stealing helpers
+//       (get_marked / get_flagged) must pass through get_unmarked before it
+//       is dereferenced — dereferencing a marked address is misaligned UB.
+//   R4  per-thread arrays indexed by tid (declared [kMaxThreads]) must be
+//       CachelinePadded (or a type locally declared alignas(kCacheLineSize))
+//       so thread i's writes never invalidate the line thread j spins on.
+//   R5  in src/ds/orc/, a raw pointer escaped from an orc_ptr (via .get() or
+//       load_unsafe()) may be compared and CASed but never dereferenced —
+//       dereference must go through the orc_ptr, whose lifetime is the
+//       protection scope.
+//
+// Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
+// line (or put it alone on the line above). Multiple rules:
+// `allow(R1,R4) <reason>`. A bare allow() without a reason is itself an
+// error — the reason is the reviewable artifact.
+//
+// Diagnostics: `file:line: RN: message`, one per line, exit 1 if any.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Diag {
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string msg;
+
+    bool operator<(const Diag& o) const {
+        if (file != o.file) return file < o.file;
+        if (line != o.line) return line < o.line;
+        return rule < o.rule;
+    }
+};
+
+struct RuleSet {
+    bool r1 = false;  // core/ and reclamation/ only
+    bool r2 = false;  // ds/orc/ only
+    bool r3 = true;
+    bool r4 = true;
+    bool r5 = false;  // ds/orc/ only
+};
+
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Blanks comments and string/char literals to spaces (newlines preserved)
+/// so token scans cannot match inside them. Handles // and /* */ comments,
+/// "..." and '...' with escapes, and R"delim(...)delim" raw strings.
+std::string strip_comments_and_strings(const std::string& src) {
+    std::string out(src);
+    enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+    St st = St::kCode;
+    std::string raw_close;  // e.g. )delim"
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char n = i + 1 < src.size() ? src[i + 1] : '\0';
+        switch (st) {
+            case St::kCode:
+                if (c == '/' && n == '/') {
+                    st = St::kLineComment;
+                    out[i] = ' ';
+                } else if (c == '/' && n == '*') {
+                    st = St::kBlockComment;
+                    out[i] = ' ';
+                } else if (c == 'R' && n == '"' &&
+                           (i == 0 || !is_ident_char(src[i - 1]))) {
+                    // Raw string: R"delim( ... )delim"
+                    std::size_t p = i + 2;
+                    std::string delim;
+                    while (p < src.size() && src[p] != '(') delim += src[p++];
+                    raw_close = ")" + delim + "\"";
+                    st = St::kRawString;
+                    // keep the R and opening quote blanked below on next turns
+                    out[i] = ' ';
+                } else if (c == '"') {
+                    st = St::kString;
+                    out[i] = ' ';
+                } else if (c == '\'' && (i == 0 || !is_ident_char(src[i - 1]))) {
+                    // Exclude digit separators (1'000'000).
+                    st = St::kChar;
+                    out[i] = ' ';
+                }
+                break;
+            case St::kLineComment:
+                if (c == '\n') {
+                    st = St::kCode;
+                } else {
+                    out[i] = ' ';
+                }
+                break;
+            case St::kBlockComment:
+                if (c == '*' && n == '/') {
+                    out[i] = ' ';
+                    out[i + 1] = ' ';
+                    ++i;
+                    st = St::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case St::kString:
+                if (c == '\\' && n != '\0') {
+                    out[i] = ' ';
+                    if (n != '\n') out[i + 1] = ' ';
+                    ++i;
+                } else if (c == '"') {
+                    out[i] = ' ';
+                    st = St::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case St::kChar:
+                if (c == '\\' && n != '\0') {
+                    out[i] = ' ';
+                    if (n != '\n') out[i + 1] = ' ';
+                    ++i;
+                } else if (c == '\'') {
+                    out[i] = ' ';
+                    st = St::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+            case St::kRawString:
+                if (src.compare(i, raw_close.size(), raw_close) == 0) {
+                    for (std::size_t k = 0; k < raw_close.size(); ++k) out[i + k] = ' ';
+                    i += raw_close.size() - 1;
+                    st = St::kCode;
+                } else if (c != '\n') {
+                    out[i] = ' ';
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    lines.push_back(cur);
+    return lines;
+}
+
+std::string trim(std::string_view s) {
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+bool line_is_blank(const std::string& s) {
+    return std::all_of(s.begin(), s.end(),
+                       [](char c) { return std::isspace(static_cast<unsigned char>(c)); });
+}
+
+/// Finds the offset of the matching ')' for the '(' at `open` in `text`,
+/// or npos. `text` must already be comment/string-stripped.
+std::size_t match_paren(const std::string& text, std::size_t open) {
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '(') ++depth;
+        else if (text[i] == ')' && --depth == 0) return i;
+    }
+    return std::string::npos;
+}
+
+class FileLinter {
+  public:
+    FileLinter(std::string display_path, const std::string& contents, RuleSet rules,
+               std::vector<Diag>& out)
+        : path_(std::move(display_path)),
+          orig_(contents),
+          clean_(strip_comments_and_strings(contents)),
+          rules_(rules),
+          diags_(out) {
+        orig_lines_ = split_lines(orig_);
+        clean_lines_ = split_lines(clean_);
+        line_starts_.reserve(clean_lines_.size());
+        std::size_t off = 0;
+        for (const auto& l : clean_lines_) {
+            line_starts_.push_back(off);
+            off += l.size() + 1;
+        }
+    }
+
+    void run() {
+        parse_suppressions();
+        if (rules_.r1) check_r1();
+        if (rules_.r2) check_r2();
+        if (rules_.r3) check_r3();
+        if (rules_.r4) check_r4();
+        if (rules_.r5) check_r5();
+    }
+
+  private:
+    int line_of(std::size_t offset) const {
+        auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+        return static_cast<int>(it - line_starts_.begin());  // 1-based
+    }
+
+    void emit(const char* rule, int line, std::string msg) {
+        auto it = suppressed_.find(line);
+        if (it != suppressed_.end() && it->second.count(rule) != 0) return;
+        diags_.push_back({path_, line, rule, std::move(msg)});
+    }
+
+    // ---- suppression comments --------------------------------------------
+
+    void parse_suppressions() {
+        for (std::size_t li = 0; li < orig_lines_.size(); ++li) {
+            const std::string& line = orig_lines_[li];
+            const std::size_t tag = line.find("orc-lint:");
+            if (tag == std::string::npos) continue;
+            const int lineno = static_cast<int>(li) + 1;
+            std::size_t p = tag + std::strlen("orc-lint:");
+            while (p < line.size() && line[p] == ' ') ++p;
+            if (line.compare(p, 6, "allow(") != 0) {
+                emit("suppression", lineno,
+                     "malformed orc-lint comment: expected 'orc-lint: allow(Rn[,Rn...]) reason'");
+                continue;
+            }
+            const std::size_t open = p + 5;
+            const std::size_t close = line.find(')', open);
+            if (close == std::string::npos) {
+                emit("suppression", lineno, "unterminated orc-lint allow( list");
+                continue;
+            }
+            std::set<std::string> allowed;
+            std::stringstream list(line.substr(open + 1, close - open - 1));
+            std::string item;
+            while (std::getline(list, item, ',')) {
+                item = trim(item);
+                if (!item.empty()) allowed.insert(item);
+            }
+            const std::string reason = trim(line.substr(close + 1));
+            if (reason.empty()) {
+                emit("suppression", lineno,
+                     "orc-lint allow() without a reason — justify the exemption");
+                continue;  // a bare allow does not suppress anything
+            }
+            // A comment-only line suppresses the line below; a trailing
+            // comment suppresses its own line.
+            const bool own_line =
+                li < clean_lines_.size() && line_is_blank(clean_lines_[li]);
+            const int target = own_line ? lineno + 1 : lineno;
+            suppressed_[target].insert(allowed.begin(), allowed.end());
+        }
+    }
+
+    // ---- R1: explicit memory_order ---------------------------------------
+
+    void check_r1() {
+        static const char* kOps[] = {"load", "store", "exchange", "fetch_add", "fetch_sub",
+                                     "fetch_or", "fetch_and", "fetch_xor",
+                                     "compare_exchange_strong", "compare_exchange_weak"};
+        for (const char* op : kOps) {
+            const std::string needle = std::string(op) + "(";
+            std::size_t pos = 0;
+            while ((pos = clean_.find(needle, pos)) != std::string::npos) {
+                const std::size_t call = pos;
+                pos += needle.size();
+                // Must be a member call: preceded by '.' or '->' (this also
+                // skips the definitions of identically named functions).
+                if (call == 0) continue;
+                const char prev = clean_[call - 1];
+                const bool member =
+                    prev == '.' || (prev == '>' && call >= 2 && clean_[call - 2] == '-');
+                if (!member) continue;
+                // `exchange(` would also match inside `compare_exchange_*(`;
+                // the '.'/'->' requirement above already rejects that ('_'
+                // precedes it), but keep the guard explicit.
+                if (is_ident_char(prev)) continue;
+                const std::size_t open = call + std::strlen(op);
+                const std::size_t close = match_paren(clean_, open);
+                if (close == std::string::npos) continue;
+                const std::string args = clean_.substr(open + 1, close - open - 1);
+                if (args.find("order") == std::string::npos) {
+                    emit("R1", line_of(call),
+                         std::string("atomic ") + op +
+                             "() without an explicit memory_order (implicit seq_cst)");
+                }
+            }
+        }
+    }
+
+    // ---- R2: no raw allocation in ds/orc ---------------------------------
+
+    void check_r2() {
+        for (std::size_t li = 0; li < clean_lines_.size(); ++li) {
+            const std::string& line = clean_lines_[li];
+            const std::string t = trim(line);
+            if (!t.empty() && t[0] == '#') continue;  // preprocessor (#include <new>)
+            const int lineno = static_cast<int>(li) + 1;
+            scan_tokens(line, [&](std::string_view tok, std::size_t col) {
+                if (tok == "new") {
+                    emit("R2", lineno,
+                         "raw 'new' in ds/orc — allocate through make_orc<T>()");
+                } else if (tok == "delete") {
+                    // Skip deleted special members: `= delete`.
+                    std::size_t p = col;
+                    while (p > 0 && line[p - 1] == ' ') --p;
+                    if (p > 0 && line[p - 1] == '=') return;
+                    emit("R2", lineno,
+                         "raw 'delete' in ds/orc — objects are freed by OrcGC retire");
+                } else if (tok == "malloc" || tok == "calloc" || tok == "realloc" ||
+                           tok == "free" || tok == "aligned_alloc") {
+                    // Only calls (identifier followed by '(').
+                    std::size_t p = col + tok.size();
+                    while (p < line.size() && line[p] == ' ') ++p;
+                    if (p < line.size() && line[p] == '(') {
+                        emit("R2", lineno,
+                             "raw C allocation call in ds/orc — use make_orc<T>()/retire");
+                    }
+                }
+            });
+        }
+    }
+
+    template <typename Fn>
+    static void scan_tokens(const std::string& line, Fn&& fn) {
+        std::size_t i = 0;
+        while (i < line.size()) {
+            if (is_ident_char(line[i]) &&
+                !std::isdigit(static_cast<unsigned char>(line[i]))) {
+                std::size_t b = i;
+                while (i < line.size() && is_ident_char(line[i])) ++i;
+                fn(std::string_view(line).substr(b, i - b), b);
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    // ---- taint tracking shared by R3 and R5 ------------------------------
+
+    struct Taint {
+        std::string var;
+        int depth = 0;
+        int line = 0;
+    };
+
+    /// True if `line` contains `var` as a whole word at some position for
+    /// which `pred(pos_after_var)` holds.
+    template <typename Pred>
+    static bool var_occurrence(const std::string& line, const std::string& var, Pred&& pred) {
+        std::size_t pos = 0;
+        while ((pos = line.find(var, pos)) != std::string::npos) {
+            const std::size_t end = pos + var.size();
+            const bool word = (pos == 0 || !is_ident_char(line[pos - 1])) &&
+                              (end >= line.size() || !is_ident_char(line[end]));
+            if (word && pred(pos, end)) return true;
+            pos = end;
+        }
+        return false;
+    }
+
+    static bool derefs_var(const std::string& line, const std::string& var) {
+        return var_occurrence(line, var, [&](std::size_t b, std::size_t e) {
+            std::size_t p = e;
+            while (p < line.size() && line[p] == ' ') ++p;
+            if (p + 1 < line.size() && line[p] == '-' && line[p + 1] == '>') return true;
+            // Unary dereference: '*' glued to the variable name.
+            if (b > 0 && line[b - 1] == '*' && (b < 2 || line[b - 2] != '*')) return true;
+            return false;
+        });
+    }
+
+    static bool reassigns_var(const std::string& line, const std::string& var) {
+        return var_occurrence(line, var, [&](std::size_t /*b*/, std::size_t e) {
+            std::size_t p = e;
+            while (p < line.size() && line[p] == ' ') ++p;
+            if (p >= line.size() || line[p] != '=') return false;
+            if (p + 1 < line.size() && line[p + 1] == '=') return false;  // comparison
+            return true;
+        });
+    }
+
+    /// If `line` assigns the result of the call at `callpos` to a variable
+    /// (`var = ... call(`), returns the variable name, else "".
+    static std::string assigned_var(const std::string& line, std::size_t callpos) {
+        const std::size_t eq = line.rfind('=', callpos);
+        if (eq == std::string::npos || eq == 0) return "";
+        // Reject ==, !=, <=, >=, +=, -=, |=, &=, ^= ...: only a plain '='.
+        const char before = line[eq - 1];
+        if (std::strchr("=!<>+-*/|&^%", before) != nullptr) return "";
+        if (eq + 1 < line.size() && line[eq + 1] == '=') return "";
+        // Between '=' and the call there must be no statement separator.
+        const std::string between = line.substr(eq + 1, callpos - eq - 1);
+        if (between.find(';') != std::string::npos) return "";
+        // Variable name: identifier immediately left of '='.
+        std::size_t e = eq;
+        while (e > 0 && line[e - 1] == ' ') --e;
+        std::size_t b = e;
+        while (b > 0 && is_ident_char(line[b - 1])) --b;
+        if (b == e) return "";
+        return line.substr(b, e - b);
+    }
+
+    /// Runs the generic tainted-variable pass: `taint_here(line)` returns the
+    /// newly tainted variable name (or ""), and any dereference of a live
+    /// taint emits `rule` with `msg`.
+    template <typename TaintFn>
+    void taint_pass(const char* rule, const std::string& msg, TaintFn&& taint_here) {
+        std::vector<Taint> taints;
+        int depth = 0;
+        for (std::size_t li = 0; li < clean_lines_.size(); ++li) {
+            const std::string& line = clean_lines_[li];
+            const int lineno = static_cast<int>(li) + 1;
+            for (const Taint& t : taints) {
+                if (derefs_var(line, t.var)) emit(rule, lineno, msg + " ('" + t.var + "')");
+            }
+            taints.erase(std::remove_if(taints.begin(), taints.end(),
+                                        [&](const Taint& t) {
+                                            return reassigns_var(line, t.var);
+                                        }),
+                         taints.end());
+            const std::string fresh = taint_here(line);
+            if (!fresh.empty()) taints.push_back({fresh, depth, lineno});
+            for (char c : line) {
+                if (c == '{') ++depth;
+                if (c == '}') --depth;
+            }
+            taints.erase(std::remove_if(taints.begin(), taints.end(),
+                                        [&](const Taint& t) { return depth < t.depth; }),
+                         taints.end());
+        }
+    }
+
+    // ---- R3: get_unmarked before dereference ------------------------------
+
+    void check_r3() {
+        // Direct form: get_marked(...)-> / get_flagged(...)->
+        for (const char* helper : {"get_marked(", "get_flagged("}) {
+            std::size_t pos = 0;
+            while ((pos = clean_.find(helper, pos)) != std::string::npos) {
+                const std::size_t call = pos;
+                pos += std::strlen(helper);
+                if (call > 0 && is_ident_char(clean_[call - 1])) continue;
+                const std::size_t open = call + std::strlen(helper) - 1;
+                const std::size_t close = match_paren(clean_, open);
+                if (close == std::string::npos) continue;
+                std::size_t p = close + 1;
+                while (p < clean_.size() && (clean_[p] == ' ' || clean_[p] == '\n')) ++p;
+                if (p + 1 < clean_.size() && clean_[p] == '-' && clean_[p + 1] == '>') {
+                    emit("R3", line_of(call),
+                         "dereference of a marked pointer — apply get_unmarked() first");
+                }
+            }
+        }
+        // Escaped form: v = get_marked(...); ... v->field
+        taint_pass("R3", "dereference of a pointer that may carry mark bits — "
+                         "apply get_unmarked() first",
+                   [](const std::string& line) -> std::string {
+                       for (const char* helper : {"get_marked(", "get_flagged("}) {
+                           const std::size_t call = line.find(helper);
+                           if (call == std::string::npos) continue;
+                           if (call > 0 && is_ident_char(line[call - 1])) continue;
+                           return assigned_var(line, call);
+                       }
+                       return "";
+                   });
+    }
+
+    // ---- R4: per-thread arrays must be cacheline-padded -------------------
+
+    void check_r4() {
+        // Types declared with alignas in this file are acceptable elements.
+        std::set<std::string> padded_types;
+        for (const char* intro : {"struct", "class"}) {
+            std::size_t pos = 0;
+            while ((pos = clean_.find(intro, pos)) != std::string::npos) {
+                std::size_t p = pos + std::strlen(intro);
+                pos = p;
+                if (p >= clean_.size() || is_ident_char(clean_[p])) continue;
+                while (p < clean_.size() &&
+                       std::isspace(static_cast<unsigned char>(clean_[p]))) ++p;
+                if (clean_.compare(p, 8, "alignas(") != 0) continue;
+                const std::size_t close = match_paren(clean_, p + 7);
+                if (close == std::string::npos) continue;
+                p = close + 1;
+                while (p < clean_.size() &&
+                       std::isspace(static_cast<unsigned char>(clean_[p]))) ++p;
+                std::size_t b = p;
+                while (p < clean_.size() && is_ident_char(clean_[p])) ++p;
+                if (p > b) padded_types.insert(clean_.substr(b, p - b));
+            }
+        }
+        std::size_t pos = 0;
+        while ((pos = clean_.find("[kMaxThreads]", pos)) != std::string::npos) {
+            const std::size_t bracket = pos;
+            pos += 1;
+            const int lineno = line_of(bracket);
+            const std::string& line = clean_lines_[lineno - 1];
+            const std::size_t col = bracket - line_starts_[lineno - 1];
+            std::string before = trim(line.substr(0, col));
+            // Strip the declarator name.
+            std::size_t e = before.size();
+            while (e > 0 && is_ident_char(before[e - 1])) --e;
+            std::string type = trim(before.substr(0, e));
+            if (type.empty()) continue;  // subscript expression, not a declaration
+            if (type.find("CachelinePadded") != std::string::npos) continue;
+            if (type.find("alignas") != std::string::npos) continue;
+            // Leading type identifier (possibly qualified), e.g. Slot,
+            // TLInfo, std::atomic.
+            std::size_t b = 0;
+            while (b < type.size() &&
+                   std::isspace(static_cast<unsigned char>(type[b]))) ++b;
+            std::size_t te = b;
+            while (te < type.size() && (is_ident_char(type[te]) || type[te] == ':')) ++te;
+            std::string head = type.substr(b, te - b);
+            // Skip storage/cv keywords.
+            static const std::set<std::string> kSkips = {"static", "constexpr", "inline",
+                                                         "const", "mutable", "extern"};
+            while (kSkips.count(head) != 0) {
+                b = te;
+                while (b < type.size() &&
+                       std::isspace(static_cast<unsigned char>(type[b]))) ++b;
+                te = b;
+                while (te < type.size() && (is_ident_char(type[te]) || type[te] == ':')) ++te;
+                head = type.substr(b, te - b);
+            }
+            if (padded_types.count(head) != 0) continue;
+            emit("R4", lineno,
+                 "per-thread array '" + type +
+                     " ...[kMaxThreads]' is not CachelinePadded — adjacent threads will "
+                     "false-share");
+        }
+    }
+
+    // ---- R5: no raw-pointer dereference escaping a protection scope -------
+
+    void check_r5() {
+        // Direct forms: x.get()->f / x.load_unsafe(...)->f
+        std::size_t pos = 0;
+        while ((pos = clean_.find(".get()", pos)) != std::string::npos) {
+            const std::size_t call = pos;
+            pos += 6;
+            std::size_t p = call + 6;
+            while (p < clean_.size() && (clean_[p] == ' ' || clean_[p] == '\n')) ++p;
+            if (p + 1 < clean_.size() && clean_[p] == '-' && clean_[p + 1] == '>') {
+                emit("R5", line_of(call),
+                     "dereference through .get() — use the orc_ptr's own operator->");
+            }
+        }
+        pos = 0;
+        while ((pos = clean_.find("load_unsafe(", pos)) != std::string::npos) {
+            const std::size_t call = pos;
+            pos += std::strlen("load_unsafe(");
+            if (call > 0 && is_ident_char(clean_[call - 1])) continue;
+            const std::size_t open = call + std::strlen("load_unsafe(") - 1;
+            const std::size_t close = match_paren(clean_, open);
+            if (close == std::string::npos) continue;
+            std::size_t p = close + 1;
+            while (p < clean_.size() && (clean_[p] == ' ' || clean_[p] == '\n')) ++p;
+            if (p + 1 < clean_.size() && clean_[p] == '-' && clean_[p + 1] == '>') {
+                emit("R5", line_of(call),
+                     "dereference of a load_unsafe() result — unprotected reads are for "
+                     "validation only");
+            }
+        }
+        // Escaped form: raw = x.get(); ... raw->field  (orc_ptr targets are
+        // exempt: their operator-> is the protected path).
+        taint_pass("R5", "dereference of a raw pointer that escaped its protection scope — "
+                         "keep the orc_ptr alive and dereference through it",
+                   [](const std::string& line) -> std::string {
+                       if (line.find("orc_ptr") != std::string::npos) return "";
+                       for (const char* src : {".get()", ".load_unsafe(", "->load_unsafe("}) {
+                           const std::size_t call = line.find(src);
+                           if (call == std::string::npos) continue;
+                           return assigned_var(line, call);
+                       }
+                       return "";
+                   });
+    }
+
+    std::string path_;
+    std::string orig_;
+    std::string clean_;
+    RuleSet rules_;
+    std::vector<Diag>& diags_;
+    std::vector<std::string> orig_lines_;
+    std::vector<std::string> clean_lines_;
+    std::vector<std::size_t> line_starts_;
+    std::map<int, std::set<std::string>> suppressed_;
+};
+
+RuleSet rules_for_path(const std::string& generic_path) {
+    RuleSet r;
+    r.r1 = generic_path.find("/core/") != std::string::npos ||
+           generic_path.find("/reclamation/") != std::string::npos;
+    const bool ds_orc = generic_path.find("/ds/orc/") != std::string::npos;
+    r.r2 = ds_orc;
+    r.r5 = ds_orc;
+    return r;
+}
+
+bool lintable_extension(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" || ext == ".cxx";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<fs::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "orc-lint: --root requires a directory\n");
+                return 2;
+            }
+            inputs.emplace_back(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::fprintf(stderr,
+                         "usage: orc_lint [--root DIR]... [FILE]...\n"
+                         "Lints OrcGC reclamation discipline (rules R1-R5).\n");
+            return 0;
+        } else {
+            inputs.emplace_back(argv[i]);
+        }
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr, "orc-lint: no inputs (try --root src)\n");
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (const fs::path& in : inputs) {
+        std::error_code ec;
+        if (fs::is_directory(in, ec)) {
+            for (const auto& entry : fs::recursive_directory_iterator(in)) {
+                if (entry.is_regular_file() && lintable_extension(entry.path())) {
+                    files.push_back(entry.path());
+                }
+            }
+        } else if (fs::is_regular_file(in, ec)) {
+            files.push_back(in);
+        } else {
+            std::fprintf(stderr, "orc-lint: cannot read %s\n", in.string().c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Diag> diags;
+    for (const fs::path& file : files) {
+        std::ifstream stream(file);
+        if (!stream) {
+            std::fprintf(stderr, "orc-lint: cannot open %s\n", file.string().c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << stream.rdbuf();
+        const std::string abs = fs::absolute(file).generic_string();
+        FileLinter linter(file.generic_string(), buf.str(), rules_for_path(abs), diags);
+        linter.run();
+    }
+
+    std::sort(diags.begin(), diags.end());
+    for (const Diag& d : diags) {
+        std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(), d.msg.c_str());
+    }
+    if (!diags.empty()) {
+        std::printf("orc-lint: %zu diagnostic%s\n", diags.size(), diags.size() == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}

@@ -9,6 +9,10 @@
 //   ORC_BENCH_RUNS    repetitions per point            (default 3)
 //   ORC_BENCH_THREADS comma list of thread counts      (default "1,2,4")
 //   ORC_BENCH_KEYS    key-range override for set benches
+//   ORC_BENCH_JSON    path to mirror every printed row as machine-readable
+//                     JSON (same effect as the --json <path> flag parsed by
+//                     bench_json_init) — this is how BENCH_baseline.json and
+//                     the CI bench-smoke artifacts are produced.
 #pragma once
 
 #include <atomic>
@@ -19,6 +23,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -98,6 +103,95 @@ inline RunStats timed_run(int threads, int run_ms, int runs,
     return stats;
 }
 
+// ---- machine-readable result mirror -------------------------------------
+//
+// Every print_row() call is additionally recorded here when JSON output is
+// enabled (via ORC_BENCH_JSON=<path> or the --json <path> flag). The file is
+// written once, at process exit, as a single object:
+//
+//   { "schema": "orcgc-bench-v1",
+//     "rows": [ { "bench": ..., "series": ..., "mix": ..., "threads": N,
+//                 "mean_ops_per_sec": X, "stddev": Y, "normalized": Z|null },
+//               ... ] }
+//
+// Rows are recorded from the main thread only (the harness prints between
+// timed runs, never inside worker bodies), so no locking is needed.
+
+class BenchJsonRecorder {
+  public:
+    static BenchJsonRecorder& instance() {
+        static BenchJsonRecorder recorder;
+        return recorder;
+    }
+
+    void enable(std::string path) { path_ = std::move(path); }
+    bool enabled() const { return !path_.empty(); }
+
+    void record(const char* bench, const char* series, const char* mix, int threads,
+                const RunStats& stats, double normalized) {
+        if (!enabled()) return;
+        rows_.push_back(Row{bench, series, mix, threads, stats.mean_ops_per_sec, stats.stddev,
+                            normalized});
+    }
+
+    /// Writes the collected rows. Called from the destructor, but exposed so
+    /// benches that abort early (perf-gate failures) can flush first.
+    void flush() {
+        if (!enabled() || flushed_) return;
+        flushed_ = true;
+        std::FILE* out = std::fopen(path_.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "bench: cannot write JSON to %s\n", path_.c_str());
+            return;
+        }
+        std::fprintf(out, "{\n  \"schema\": \"orcgc-bench-v1\",\n  \"rows\": [\n");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            const Row& r = rows_[i];
+            std::fprintf(out,
+                         "    {\"bench\": \"%s\", \"series\": \"%s\", \"mix\": \"%s\", "
+                         "\"threads\": %d, \"mean_ops_per_sec\": %.1f, \"stddev\": %.1f, ",
+                         r.bench.c_str(), r.series.c_str(), r.mix.c_str(), r.threads, r.mean,
+                         r.stddev);
+            if (r.normalized >= 0) {
+                std::fprintf(out, "\"normalized\": %.4f}", r.normalized);
+            } else {
+                std::fprintf(out, "\"normalized\": null}");
+            }
+            std::fprintf(out, i + 1 < rows_.size() ? ",\n" : "\n");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+    }
+
+    ~BenchJsonRecorder() { flush(); }
+
+  private:
+    struct Row {
+        std::string bench, series, mix;
+        int threads;
+        double mean, stddev, normalized;
+    };
+
+    BenchJsonRecorder() {
+        if (const char* path = std::getenv("ORC_BENCH_JSON")) path_ = path;
+    }
+
+    std::string path_;
+    std::vector<Row> rows_;
+    bool flushed_ = false;
+};
+
+/// Parses harness-level CLI flags (currently `--json <path>`). Benches that
+/// take argv call this at the top of main; env-only use needs no call at all
+/// because the recorder reads ORC_BENCH_JSON on first touch.
+inline void bench_json_init(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json") {
+            BenchJsonRecorder::instance().enable(argv[i + 1]);
+        }
+    }
+}
+
 /// Prints one paper-style result row: series name, thread count, ops/s.
 inline void print_row(const char* bench, const char* series, const char* mix, int threads,
                       const RunStats& stats, double normalized = -1.0) {
@@ -108,6 +202,7 @@ inline void print_row(const char* bench, const char* series, const char* mix, in
         std::printf("%-22s %-16s %-10s t=%-3d %12.0f ops/s  (sd %8.0f)\n", bench, series, mix,
                     threads, stats.mean_ops_per_sec, stats.stddev);
     }
+    BenchJsonRecorder::instance().record(bench, series, mix, threads, stats, normalized);
     std::fflush(stdout);
 }
 

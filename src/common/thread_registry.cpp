@@ -55,20 +55,27 @@ void ThreadRegistry::add_exit_hook(ExitHook hook) {
 namespace {
 
 // RAII holder whose construction claims a tid and whose destruction (at
-// thread exit) releases it.
+// thread exit) releases it. The cached tl_thread_id stays valid through the
+// exit hooks (they run inside release(), and e.g. OrcEngine::drain_thread
+// re-enters thread_id()) and is invalidated only after the slot is free.
 struct ThreadSlot {
     int tid;
     ThreadSlot() : tid(ThreadRegistry::instance().acquire()) {}
-    ~ThreadSlot() { ThreadRegistry::instance().release(tid); }
+    ~ThreadSlot() {
+        ThreadRegistry::instance().release(tid);
+        tl_thread_id = -1;
+    }
 };
 
 }  // namespace
-}  // namespace detail
 
-int thread_id() {
-    static thread_local detail::ThreadSlot slot;
+int register_this_thread() {
+    static thread_local ThreadSlot slot;
+    tl_thread_id = slot.tid;
     return slot.tid;
 }
+
+}  // namespace detail
 
 int thread_id_watermark() { return detail::ThreadRegistry::instance().watermark(); }
 

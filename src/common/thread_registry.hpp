@@ -55,10 +55,25 @@ class ThreadRegistry {
     std::atomic<int> num_hooks_{0};
 };
 
+/// Slow path of thread_id(): claims a slot, caches it in tl_thread_id, and
+/// arranges release at thread exit. Out of line — it runs once per thread.
+int register_this_thread();
+
 }  // namespace detail
 
-/// Dense id of the calling thread; registered lazily on first call.
-int thread_id();
+/// Cached dense id of the calling thread; -1 until first registration and
+/// again after the thread's slot is released at exit. Engine code must not
+/// read this directly — it exists only to make thread_id() a single TLS load.
+inline thread_local int tl_thread_id = -1;
+
+/// Dense id of the calling thread; registered lazily on first call. Every
+/// engine entry point (protect, release, retire) starts with this lookup, so
+/// the hot path is one TLS read and a predictable branch instead of the
+/// guard-variable check + out-of-line call a function-local static costs.
+inline int thread_id() {
+    const int tid = tl_thread_id;
+    return tid >= 0 ? tid : detail::register_this_thread();
+}
 
 /// One past the highest thread id ever used; bound for per-thread scans.
 int thread_id_watermark();

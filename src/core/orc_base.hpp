@@ -24,7 +24,8 @@ namespace orcgc {
 
 namespace orc {
 
-inline constexpr std::uint64_t kSeqInc = 1ULL << 24;   // +1 to the sequence field
+inline constexpr int kSeqShift = 24;                   // first bit of the sequence field
+inline constexpr std::uint64_t kSeqInc = 1ULL << kSeqShift;  // +1 to the sequence field
 inline constexpr std::uint64_t kBRetired = 1ULL << 23; // retire-token bit
 inline constexpr std::uint64_t kOrcZero = 1ULL << 22;  // counter bias == "zero links"
 inline constexpr std::uint64_t kOrcCntMask = kSeqInc - 1;  // counter+token bits
@@ -46,7 +47,7 @@ inline constexpr std::int64_t link_count(std::uint64_t x) noexcept {
 }
 
 /// Sequence field (for tests/debug).
-inline constexpr std::uint64_t seq(std::uint64_t x) noexcept { return x >> 24; }
+inline constexpr std::uint64_t seq(std::uint64_t x) noexcept { return x >> kSeqShift; }
 
 }  // namespace orc
 
@@ -56,6 +57,15 @@ inline constexpr std::uint64_t seq(std::uint64_t x) noexcept { return x >> 24; }
 /// scheme itself needs only the one _orc word).
 struct orc_base {
     std::atomic<std::uint64_t> _orc{orc::kOrcZero};
+
+    /// Drops the retire token; returns the post-drop _orc value. Used only by
+    /// the engine's resurrection path (Algorithm 6). Token release is not a
+    /// counter update, so the sequence field is deliberately left unchanged —
+    /// retire()'s Lemma 1 revalidation must still observe increments that
+    /// raced with the drop.
+    std::uint64_t sub_retired() noexcept {
+        return _orc.fetch_sub(orc::kBRetired, std::memory_order_seq_cst) - orc::kBRetired;
+    }
 
     orc_base() noexcept = default;
     orc_base(const orc_base&) = delete;

@@ -7,8 +7,21 @@
 //   * handovers[] the pass-the-pointer parking slots paired 1:1 with hp,
 //   * used_haz[]  thread-local reference counts of how many live orc_ptr
 //                 instances share each hp index,
+//   * hp_wm /     published scan bounds so retire scans touch only the slots
+//     hp_peak     a thread actually uses (see "Retire-path complexity" in
+//                 DESIGN.md),
 //   * the recursion guard that flattens cascading retires (a deleted node's
 //     orc_atomic members decrement — and possibly retire — their targets).
+//
+// Retire scans come in two flavours:
+//   * per-object (retire_one / try_handover): the paper's Algorithm 6 scan,
+//     used for small cascade generations and as the slow path;
+//   * batched (retire_generation_batched): one sorted snapshot of every
+//     published hp per cascade *generation*, then O(log S) membership tests
+//     per retired object. The snapshot must be per-generation — objects
+//     pushed while a generation is deleted acquire their retire tokens
+//     *after* the previous snapshot, and Lemma 1's scan is only valid when
+//     it starts after the token is taken.
 //
 // Deviations from the paper's pseudocode are listed in DESIGN.md §1.3; the
 // load-bearing ones are (a) orc_ptr instances always own a real hp index
@@ -17,6 +30,7 @@
 // it cannot park the object on itself.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -29,6 +43,20 @@
 #include "common/tsan_annotations.hpp"
 #include "core/orc_base.hpp"
 
+// Advertised to benches/tests: compiled with -DORCGC_STATS=1 this engine
+// exposes OrcEngine::RetireStats / stats() / reset_stats(). Consumers guard
+// on ORCGC_HAS_RETIRE_STATS (not ORCGC_STATS) so they also compile against
+// engine revisions that predate the counters.
+#ifdef ORCGC_STATS
+#define ORCGC_HAS_RETIRE_STATS 1
+// Owner-thread relaxed increment; stats() sums across threads.
+#define ORC_RETIRE_STAT(t, field, n) ((t).field.fetch_add((n), std::memory_order_relaxed))
+#else
+// Evaluates nothing but still "reads" n so counting variables in the
+// instrumentation paths do not trip -Wunused-but-set-variable.
+#define ORC_RETIRE_STAT(t, field, n) ((void)(n))
+#endif
+
 namespace orcgc {
 
 class OrcEngine {
@@ -36,6 +64,12 @@ class OrcEngine {
     /// Per-thread hazardous-pointer capacity. Index 0 is reserved scratch;
     /// indices [1, kMaxHPs) are handed to orc_ptr instances.
     static constexpr int kMaxHPs = 64;
+
+    /// Cascade generations at least this large take the batched snapshot
+    /// path; smaller ones run the per-object scan (a snapshot of T threads
+    /// costs about as much as one try_handover pass, so it has to amortize
+    /// over several objects to win).
+    static constexpr std::size_t kSnapshotMin = 4;
 
     static OrcEngine& instance() {
         static OrcEngine engine;
@@ -49,7 +83,7 @@ class OrcEngine {
 
     /// Claims a free hp index for the calling thread (used_haz goes 0 -> 1).
     /// O(1): free indices are recycled through a per-thread stack, seeded so
-    /// that the lowest indices pop first (keeps the global scan watermark
+    /// that the lowest indices pop first (keeps the published watermark
     /// tight).
     int get_new_idx() {
         auto& t = tl_[thread_id()];
@@ -64,10 +98,17 @@ class OrcEngine {
         }
         const int idx = t.free_stack[t.free_top--];
         t.used_haz[idx] = 1;
-        // Raise the global scan watermark so retire() covers this index.
-        int cur_max = max_hps_.load(std::memory_order_acquire);
-        while (cur_max <= idx &&
-               !max_hps_.compare_exchange_weak(cur_max, idx + 1, std::memory_order_acq_rel)) {
+        // Raise-before-publish: this seq_cst store is sequenced before any
+        // seq_cst hp publish on the new index, so a scanner whose watermark
+        // load predates the raise can only miss publications that are
+        // SC-after its scan — and those readers must revalidate against a
+        // source link that the zero counter proves is already gone
+        // (DESIGN.md "Retire-path complexity").
+        if (idx >= t.hp_wm.load(std::memory_order_relaxed)) {
+            t.hp_wm.store(idx + 1, std::memory_order_seq_cst);
+            if (idx >= t.hp_peak.load(std::memory_order_relaxed)) {
+                t.hp_peak.store(idx + 1, std::memory_order_release);
+            }
         }
         return idx;
     }
@@ -103,11 +144,13 @@ class OrcEngine {
                 unpublish_and_drain(t, idx);
                 retire(obj);
                 t.free_stack[++t.free_top] = idx;  // recycle only after the clear
+                lower_hp_watermark(t);
                 return;
             }
         }
         unpublish_and_drain(t, idx);
         t.free_stack[++t.free_top] = idx;
+        lower_hp_watermark(t);
     }
 
     // ---- protection -------------------------------------------------------
@@ -189,13 +232,18 @@ class OrcEngine {
         scratch_release();
     }
 
-    // ---- retire (Algorithm 5) ---------------------------------------------
+    // ---- retire (Algorithm 5, batched) ------------------------------------
 
     /// Runs the pass-the-pointer retire protocol for an object whose retire
     /// token (kBRetired) the caller holds. Deletes the object if Lemma 1's
     /// condition (counter at zero AND no hazardous pointer, atomically
     /// validated via the sequence field) holds; otherwise hands it over or
     /// drops the token.
+    ///
+    /// Cascades are processed in generations: deleting generation g's objects
+    /// runs destructors whose decrements push generation g+1 into
+    /// recursive_list. Generations of kSnapshotMin+ objects share one hp
+    /// snapshot; smaller ones scan per object.
     void retire(orc_base* ptr) {
         auto& t = tl_[thread_id()];
         if (t.retire_started) {
@@ -204,42 +252,73 @@ class OrcEngine {
             return;
         }
         t.retire_started = true;
-        std::size_t i = 0;
-        while (true) {
-            while (ptr != nullptr) {
-                std::uint64_t lorc = ptr->_orc.load(std::memory_order_seq_cst);
-                if (!orc::is_zero_retired(lorc)) {
-                    // Resurrected: a thread holding a local reference re-linked
-                    // the object. Drop the token (and re-take it if the counter
-                    // fell back to zero under us).
-                    lorc = clear_bit_retired(ptr);
-                    if (lorc == 0) break;  // token dropped; a later decrement re-retires
-                }
-                if (try_handover(ptr)) continue;  // ptr is now the swapped-out pointer
-                const std::uint64_t lorc2 = ptr->_orc.load(std::memory_order_seq_cst);
-                if (lorc2 != lorc) continue;  // _orc moved during the scan: revalidate
-                // Lemma 1: counter zero, token held, no hp found, sequence
-                // unchanged across the scan — safe to destroy.
-                ORC_ANNOTATE_HAPPENS_AFTER(ptr);
-                delete ptr;  // may push cascaded retires into recursive_list
-                break;
+        t.recursive_list.push_back(ptr);
+        std::size_t begin = 0;
+        while (begin < t.recursive_list.size()) {
+            const std::size_t end = t.recursive_list.size();
+            if (end - begin >= kSnapshotMin) {
+                retire_generation_batched(t, begin, end);
+            } else {
+                for (std::size_t i = begin; i < end; ++i) retire_one(t.recursive_list[i]);
             }
-            if (t.recursive_list.size() == i) break;
-            ptr = t.recursive_list[i++];
+            begin = end;
         }
         t.recursive_list.clear();
         t.retire_started = false;
     }
 
+#ifdef ORCGC_STATS
+    /// Retire-path instrumentation (ORCGC_STATS builds only; see README).
+    struct RetireStats {
+        std::uint64_t scans = 0;          ///< per-object try_handover passes
+        std::uint64_t snapshots = 0;      ///< full-HP-array snapshots taken
+        std::uint64_t slots_scanned = 0;  ///< hp slots loaded by scans + snapshots
+        std::uint64_t batch_frees = 0;    ///< deletes proven by a snapshot
+        std::uint64_t slow_frees = 0;     ///< deletes proven by a per-object scan
+        std::uint64_t handovers = 0;      ///< objects parked on another thread's hp
+    };
+
+    /// Sums the per-thread counters of every thread id ever registered.
+    RetireStats stats() const noexcept {
+        RetireStats s;
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            const auto& t = tl_[it];
+            s.scans += t.stat_scans.load(std::memory_order_relaxed);
+            s.snapshots += t.stat_snapshots.load(std::memory_order_relaxed);
+            s.slots_scanned += t.stat_slots_scanned.load(std::memory_order_relaxed);
+            s.batch_frees += t.stat_batch_frees.load(std::memory_order_relaxed);
+            s.slow_frees += t.stat_slow_frees.load(std::memory_order_relaxed);
+            s.handovers += t.stat_handovers.load(std::memory_order_relaxed);
+        }
+        return s;
+    }
+
+    void reset_stats() noexcept {
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            auto& t = tl_[it];
+            t.stat_scans.store(0, std::memory_order_relaxed);
+            t.stat_snapshots.store(0, std::memory_order_relaxed);
+            t.stat_slots_scanned.store(0, std::memory_order_relaxed);
+            t.stat_batch_frees.store(0, std::memory_order_relaxed);
+            t.stat_slow_frees.store(0, std::memory_order_relaxed);
+            t.stat_handovers.store(0, std::memory_order_relaxed);
+        }
+    }
+#endif  // ORCGC_STATS
+
     // ---- introspection (tests / memory-bound benches) ----------------------
 
     /// Pointers currently parked in handover slots across all threads.
+    /// Bounded by hp_peak, not hp_wm: a scanner that read a stale hp can park
+    /// into a slot after its index was recycled and the watermark lowered.
     std::size_t handover_count() const noexcept {
         std::size_t total = 0;
         const int wm = thread_id_watermark();
-        const int lmax = max_hps_.load(std::memory_order_acquire);
         for (int it = 0; it < wm; ++it) {
-            for (int idx = 0; idx < lmax; ++idx) {
+            const int peak = tl_[it].hp_peak.load(std::memory_order_acquire);
+            for (int idx = 0; idx < peak; ++idx) {
                 if (tl_[it].handovers[idx].load(std::memory_order_acquire) != nullptr) ++total;
             }
         }
@@ -249,19 +328,37 @@ class OrcEngine {
     /// Live orc_ptr sharers on the calling thread (slot-leak checks).
     int used_idx_count() const noexcept {
         const auto& t = tl_[thread_id()];
+        const int peak = t.hp_peak.load(std::memory_order_relaxed);
         int used = 0;
-        for (int idx = 1; idx < kMaxHPs; ++idx) {
+        for (int idx = 1; idx < peak; ++idx) {
             if (t.used_haz[idx] != 0) ++used;
         }
         return used;
     }
 
-    int hp_watermark() const noexcept { return max_hps_.load(std::memory_order_acquire); }
+    /// One past the highest hp index ever claimed by any registered thread
+    /// (max of the per-thread peaks; >= 1 because slot 0 is always live).
+    int hp_watermark() const noexcept {
+        int max_peak = 1;
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            max_peak = std::max(max_peak, tl_[it].hp_peak.load(std::memory_order_acquire));
+        }
+        return max_peak;
+    }
+
+    /// The calling thread's *current* scan bound — one past its highest
+    /// claimed hp index. Unlike hp_peak this tightens again when indices are
+    /// released (tests assert the tightening).
+    int hp_watermark_self() const noexcept {
+        return tl_[thread_id()].hp_wm.load(std::memory_order_relaxed);
+    }
 
     /// Debug aid: prints the calling thread's non-free slots.
     void debug_dump_slots() const {
         const auto& t = tl_[thread_id()];
-        for (int idx = 1; idx < kMaxHPs; ++idx) {
+        const int peak = t.hp_peak.load(std::memory_order_relaxed);
+        for (int idx = 1; idx < peak; ++idx) {
             if (t.used_haz[idx] != 0) {
                 std::fprintf(stderr, "  idx=%d used=%u hp=%p handover=%p\n", idx,
                              t.used_haz[idx],
@@ -282,13 +379,36 @@ class OrcEngine {
         std::atomic<orc_base*> hp[kMaxHPs] = {};
         // Own cache lines: handovers are written by *other* threads.
         alignas(kCacheLineSize) std::atomic<orc_base*> handovers[kMaxHPs] = {};
+        // Published scan bounds, read by every other thread's retire scans
+        // (own cache line: must not false-share with the owner-hot used_haz):
+        //   hp_wm   one past the highest *currently claimed* hp index; raised
+        //           by get_new_idx before any publish on the new index,
+        //           lowered by release_idx when the top index frees. Floor 1:
+        //           the scratch slot is always scanned.
+        //   hp_peak monotonic high-water mark; bound for handover draining
+        //           and introspection (late parks can land at recycled
+        //           indices above hp_wm).
+        alignas(kCacheLineSize) std::atomic<int> hp_wm{1};
+        std::atomic<int> hp_peak{1};
         alignas(kCacheLineSize) std::uint32_t used_haz[kMaxHPs] = {};
         // O(1) index recycling (thread-local; seeded lazily on first use).
         int free_stack[kMaxHPs];
         int free_top = -1;
         bool free_initialized = false;
         bool retire_started = false;
-        std::vector<orc_base*> recursive_list;
+        // Grown-once scratch: capacity is retained across calls, so
+        // steady-state retires never touch the heap.
+        std::vector<orc_base*> recursive_list;  // pending cascade generations
+        std::vector<orc_base*> snapshot;        // sorted hp snapshot
+        std::vector<std::uint64_t> gen_lorc;    // pre-read _orc per gen object
+#ifdef ORCGC_STATS
+        std::atomic<std::uint64_t> stat_scans{0};
+        std::atomic<std::uint64_t> stat_snapshots{0};
+        std::atomic<std::uint64_t> stat_slots_scanned{0};
+        std::atomic<std::uint64_t> stat_batch_frees{0};
+        std::atomic<std::uint64_t> stat_slow_frees{0};
+        std::atomic<std::uint64_t> stat_handovers{0};
+#endif
     };
 
     OrcEngine() {
@@ -299,10 +419,11 @@ class OrcEngine {
 
     ~OrcEngine() {
         // Process teardown: anything still parked is unreachable by now.
+        // Full range on purpose — watermarks no longer matter here.
         for (auto& t : tl_) {
             for (auto& h : t.handovers) {
                 if (orc_base* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) {
-                    ORC_ANNOTATE_HAPPENS_AFTER(ptr);
+                    tsan_acquire_for_delete(ptr);
                     delete ptr;
                 }
             }
@@ -314,13 +435,39 @@ class OrcEngine {
     /// Called while `tid` is still owned by the exiting thread.
     void drain_thread(int tid) {
         auto& t = tl_[tid];
-        for (int idx = 0; idx < kMaxHPs; ++idx) {
+        const int peak = t.hp_peak.load(std::memory_order_acquire);
+        for (int idx = 0; idx < peak; ++idx) {
             tsan_release_protection(t.hp[idx]);
             t.hp[idx].store(nullptr, std::memory_order_seq_cst);
             if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
                 retire(h);
             }
         }
+        // Fresh start for the next thread that reuses this tid. hp_peak stays
+        // monotonic on purpose: a scanner that read a stale hp just before
+        // this drain can still park into one of these handover slots, and the
+        // next drain (or the engine destructor) must keep looking there.
+        t.hp_wm.store(1, std::memory_order_seq_cst);
+    }
+
+    /// Tightens the published scan bound after an index was recycled. Only
+    /// the owner thread writes hp_wm, so a plain scan-check-store suffices;
+    /// slots below the new bound that are free all hold null hp entries, so
+    /// scanners lose nothing by skipping them.
+    ///
+    /// Hysteresis: the bound only moves when it can tighten by at least two
+    /// slots. Without the slack, a workload holding one orc_ptr at a time
+    /// would alternate get_new_idx's raise with a lower here — two seq_cst
+    /// stores per protect/release cycle on the hot path. With it, steady
+    /// oscillation around the bound settles one slot high and generates no
+    /// watermark traffic at all; scanners pay at most one extra null slot
+    /// per thread.
+    void lower_hp_watermark(TLInfo& t) noexcept {
+        const int wm = t.hp_wm.load(std::memory_order_relaxed);
+        int top = wm - 1;
+        while (top >= 1 && t.used_haz[top] == 0) --top;
+        const int tightened = top < 1 ? 1 : top + 1;
+        if (tightened <= wm - 2) t.hp_wm.store(tightened, std::memory_order_seq_cst);
     }
 
     void unpublish_and_drain(TLInfo& t, int idx) {
@@ -329,7 +476,12 @@ class OrcEngine {
         // needs the full fence.
         tsan_release_protection(t.hp[idx]);
         t.hp[idx].store(nullptr, std::memory_order_release);
-        if (t.handovers[idx].load(std::memory_order_seq_cst) != nullptr) {
+        // One seq_cst op on the slot instead of the previous seq_cst
+        // load + seq_cst exchange pair: the guard load is only there to skip
+        // the RMW in the (overwhelmingly common) empty case, and a park it
+        // misses simply waits for the next drain of this slot — the same
+        // window that already exists between the exchange and a late parker.
+        if (t.handovers[idx].load(std::memory_order_acquire) != nullptr) {
             if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
                 // The parked object carries its retire token; continue the
                 // protocol on its behalf.
@@ -338,20 +490,112 @@ class OrcEngine {
         }
     }
 
+    /// The per-object protocol of Algorithm 6 for one retired object (token
+    /// held by the caller): resurrection check, hp scan with handover, Lemma 1
+    /// sequence revalidation, delete.
+    void retire_one(orc_base* ptr) {
+        while (ptr != nullptr) {
+            std::uint64_t lorc = ptr->_orc.load(std::memory_order_seq_cst);
+            if (!orc::is_zero_retired(lorc)) {
+                // Resurrected: a thread holding a local reference re-linked
+                // the object. Drop the token (and re-take it if the counter
+                // fell back to zero under us).
+                lorc = clear_bit_retired(ptr);
+                if (lorc == 0) break;  // token dropped; a later decrement re-retires
+            }
+            if (try_handover(ptr)) continue;  // ptr is now the swapped-out pointer
+            const std::uint64_t lorc2 = ptr->_orc.load(std::memory_order_seq_cst);
+            if (lorc2 != lorc) continue;  // _orc moved during the scan: revalidate
+            // Lemma 1: counter zero, token held, no hp found, sequence
+            // unchanged across the scan — safe to destroy.
+            tsan_acquire_for_delete(ptr);
+            ORC_RETIRE_STAT(tl_[thread_id()], stat_slow_frees, 1);
+            delete ptr;  // may push cascaded retires into recursive_list
+            break;
+        }
+    }
+
+    /// Batched form of the Lemma 1 check for one cascade generation
+    /// recursive_list[begin, end): pre-read every object's _orc, take ONE
+    /// sorted snapshot of all published hps, then per object delete iff
+    /// (counter zero + token) held at the pre-read, no snapshot entry covers
+    /// it, and _orc (sequence included) is unchanged after the snapshot.
+    ///
+    /// Soundness (DESIGN.md "Retire-path complexity"): every generation
+    /// member's retire token was acquired before this snapshot started, so a
+    /// protection missed by the snapshot was published SC-after it — such a
+    /// reader revalidates against a source link, and the unchanged sequence
+    /// plus zero counter prove no link contained the object at any point in
+    /// the pre-read..re-read window. Anything else (resurrection, parked
+    /// protection, moved sequence) falls back to retire_one.
+    void retire_generation_batched(TLInfo& t, std::size_t begin, std::size_t end) {
+        t.gen_lorc.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            t.gen_lorc.push_back(t.recursive_list[i]->_orc.load(std::memory_order_seq_cst));
+        }
+        take_snapshot(t);
+        for (std::size_t i = begin; i < end; ++i) {
+            orc_base* ptr = t.recursive_list[i];
+            const std::uint64_t lorc = t.gen_lorc[i - begin];
+            if (orc::is_zero_retired(lorc) && !snapshot_contains(t, ptr) &&
+                ptr->_orc.load(std::memory_order_seq_cst) == lorc) {
+                tsan_acquire_for_delete(ptr);
+                ORC_RETIRE_STAT(t, stat_batch_frees, 1);
+                delete ptr;  // pushes the next generation into recursive_list
+                continue;
+            }
+            retire_one(ptr);
+        }
+    }
+
+    /// Collects every published hp (all registered threads, each bounded by
+    /// its own hp_wm) into t.snapshot, sorted for binary search.
+    void take_snapshot(TLInfo& t) {
+        t.snapshot.clear();
+        const int nthreads = thread_id_watermark();
+        std::size_t slots = 0;
+        for (int it = 0; it < nthreads; ++it) {
+            const auto& other = tl_[it];
+            const int wm = other.hp_wm.load(std::memory_order_seq_cst);
+            for (int idx = 0; idx < wm; ++idx) {
+                if (orc_base* p = other.hp[idx].load(std::memory_order_seq_cst)) {
+                    t.snapshot.push_back(p);
+                }
+            }
+            slots += static_cast<std::size_t>(wm);
+        }
+        std::sort(t.snapshot.begin(), t.snapshot.end(), std::less<orc_base*>());
+        ORC_RETIRE_STAT(t, stat_snapshots, 1);
+        ORC_RETIRE_STAT(t, stat_slots_scanned, slots);
+    }
+
+    static bool snapshot_contains(const TLInfo& t, orc_base* ptr) noexcept {
+        return std::binary_search(t.snapshot.begin(), t.snapshot.end(), ptr,
+                                  std::less<orc_base*>());
+    }
+
     /// Algorithm 6 lines 134–145: scan all published hp entries for `ptr`;
     /// if found, park it in the paired handover slot and take away whatever
-    /// was parked there before.
+    /// was parked there before. Each thread's scan is bounded by its own
+    /// published hp_wm instead of a global high-water mark.
     bool try_handover(orc_base*& ptr) {
-        const int lmax = max_hps_.load(std::memory_order_seq_cst);
-        const int wm = thread_id_watermark();
-        for (int it = 0; it < wm; ++it) {
-            for (int idx = 0; idx < lmax; ++idx) {
-                if (tl_[it].hp[idx].load(std::memory_order_seq_cst) == ptr) {
-                    ptr = tl_[it].handovers[idx].exchange(ptr, std::memory_order_seq_cst);
+        const int nthreads = thread_id_watermark();
+        std::size_t slots = 0;
+        ORC_RETIRE_STAT(tl_[thread_id()], stat_scans, 1);
+        for (int it = 0; it < nthreads; ++it) {
+            auto& other = tl_[it];
+            const int wm = other.hp_wm.load(std::memory_order_seq_cst);
+            for (int idx = 0; idx < wm; ++idx) {
+                ++slots;
+                if (other.hp[idx].load(std::memory_order_seq_cst) == ptr) {
+                    ORC_RETIRE_STAT(tl_[thread_id()], stat_slots_scanned, slots);
+                    ORC_RETIRE_STAT(tl_[thread_id()], stat_handovers, 1);
+                    ptr = other.handovers[idx].exchange(ptr, std::memory_order_seq_cst);
                     return true;
                 }
             }
         }
+        ORC_RETIRE_STAT(tl_[thread_id()], stat_slots_scanned, slots);
         return false;
     }
 
@@ -365,8 +609,7 @@ class OrcEngine {
         // token we are in the middle of dropping (Proposition 1).
         tsan_release_protection(t.hp[0]);
         t.hp[0].exchange(ptr, std::memory_order_seq_cst);
-        const std::uint64_t lorc =
-            obj_sub_retired(ptr);
+        const std::uint64_t lorc = ptr->sub_retired();
         std::uint64_t result = 0;
         if (orc::is_zero_unretired(lorc)) {
             std::uint64_t expected = lorc;
@@ -379,12 +622,7 @@ class OrcEngine {
         return result;
     }
 
-    static std::uint64_t obj_sub_retired(orc_base* ptr) noexcept {
-        return ptr->_orc.fetch_sub(orc::kBRetired, std::memory_order_seq_cst) - orc::kBRetired;
-    }
-
     TLInfo tl_[kMaxThreads];
-    std::atomic<int> max_hps_{1};
 };
 
 }  // namespace orcgc

@@ -81,6 +81,14 @@ TEST(OrcLintFixtures, R5FiresOnProtectionEscape) {
     EXPECT_EQ(count_rule(r.output, "R5"), 3) << r.output;
 }
 
+TEST(OrcLintFixtures, R6FiresOnEngineHeapAllocation) {
+    const LintResult r = run_lint(fixture("bad_r6"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The raw new and the malloc call; the justified pool suppression and
+    // the reclamation delete must both stay silent.
+    EXPECT_EQ(count_rule(r.output, "R6"), 2) << r.output;
+}
+
 TEST(OrcLintFixtures, BareSuppressionIsAnErrorAndDoesNotSuppress) {
     const LintResult r = run_lint(fixture("bad_suppression"));
     EXPECT_EQ(r.exit_code, 1) << r.output;

@@ -1,0 +1,38 @@
+// Fixture: heap allocation inside an engine file — R6 must flag the raw
+// `new` and the malloc() call on the retire path, honor the justified
+// suppression, and leave `delete` alone (it is the reclamation free itself).
+// Never compiled — linted only.
+#pragma once
+
+#include <cstdlib>
+
+namespace fixture {
+
+struct Retired {
+    Retired* next;
+};
+
+class Engine {
+  public:
+    void retire(Retired* obj) {
+        // Allocating a tracking cell per retire: exactly the pattern R6 bans.
+        Retired* cell = new Retired{obj};
+        pending_ = cell;
+    }
+
+    void retire_c_style(std::size_t n) {
+        scratch_ = std::malloc(n);
+    }
+
+    void reclaim(Retired* obj) {
+        delete obj;  // legal: this is the free the whole protocol works for
+    }
+
+  private:
+    // orc-lint: allow(R6) one-time pool grown at engine construction, never on a retire
+    Retired* pool_ = new Retired[8];
+    Retired* pending_ = nullptr;
+    void* scratch_ = nullptr;
+};
+
+}  // namespace fixture

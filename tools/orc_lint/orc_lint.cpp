@@ -23,6 +23,10 @@
 //       load_unsafe()) may be compared and CASed but never dereferenced —
 //       dereference must go through the orc_ptr, whose lifetime is the
 //       protection scope.
+//   R6  no heap allocation (new/malloc/...) in src/core/ engine files other
+//       than make_orc.hpp — retire() runs on every reclamation and must be
+//       allocation-free; scratch state lives in grown-once thread-local
+//       buffers. `delete` stays legal: it IS the reclamation free.
 //
 // Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
 // line (or put it alone on the line above). Multiple rules:
@@ -67,6 +71,7 @@ struct RuleSet {
     bool r3 = true;
     bool r4 = true;
     bool r5 = false;  // ds/orc/ only
+    bool r6 = false;  // core/ engine files (minus make_orc.hpp)
 };
 
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
@@ -228,6 +233,7 @@ class FileLinter {
         if (rules_.r3) check_r3();
         if (rules_.r4) check_r4();
         if (rules_.r5) check_r5();
+        if (rules_.r6) check_r6();
     }
 
   private:
@@ -348,6 +354,35 @@ class FileLinter {
                     if (p < line.size() && line[p] == '(') {
                         emit("R2", lineno,
                              "raw C allocation call in ds/orc — use make_orc<T>()/retire");
+                    }
+                }
+            });
+        }
+    }
+
+    // ---- R6: no heap allocation in engine hot paths ----------------------
+
+    void check_r6() {
+        for (std::size_t li = 0; li < clean_lines_.size(); ++li) {
+            const std::string& line = clean_lines_[li];
+            const std::string t = trim(line);
+            if (!t.empty() && t[0] == '#') continue;  // preprocessor (#include <new>)
+            const int lineno = static_cast<int>(li) + 1;
+            scan_tokens(line, [&](std::string_view tok, std::size_t col) {
+                if (tok == "new") {
+                    emit("R6", lineno,
+                         "heap allocation in an engine file — retire paths must be "
+                         "allocation-free (allocate in make_orc.hpp or grow a "
+                         "thread-local scratch buffer)");
+                } else if (tok == "malloc" || tok == "calloc" || tok == "realloc" ||
+                           tok == "aligned_alloc") {
+                    // Only calls (identifier followed by '(').
+                    std::size_t p = col + tok.size();
+                    while (p < line.size() && line[p] == ' ') ++p;
+                    if (p < line.size() && line[p] == '(') {
+                        emit("R6", lineno,
+                             "C heap allocation in an engine file — retire paths "
+                             "must be allocation-free");
                     }
                 }
             });
@@ -629,6 +664,10 @@ RuleSet rules_for_path(const std::string& generic_path) {
     const bool ds_orc = generic_path.find("/ds/orc/") != std::string::npos;
     r.r2 = ds_orc;
     r.r5 = ds_orc;
+    // make_orc.hpp is the engine's single sanctioned allocation site; every
+    // other core file is on a retire/protect hot path.
+    r.r6 = generic_path.find("/core/") != std::string::npos &&
+           generic_path.find("/make_orc.hpp") == std::string::npos;
     return r;
 }
 

@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <memory>
 
 #include "core/orc.hpp"
 
@@ -123,6 +124,38 @@ void BM_MakeOrcDropped(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_MakeOrcDropped);
+
+// ---- domain indirection --------------------------------------------------
+// Same primitives, routed through a private OrcDomain instead of the global
+// default. Compared against BM_OrcAtomicLoad / BM_MakeOrcDropped these rows
+// price the domain machinery itself: the ambient-domain lookup on protect and
+// the _orc_dom tag routing on retire.
+
+void BM_OrcAtomicLoadPrivateDomain(benchmark::State& state) {
+    auto dom = std::make_unique<OrcDomain>();
+    ScopedDomain guard(*dom);
+    orc_atomic<OrcNode*> link;
+    {
+        orc_ptr<OrcNode*> n = make_orc<OrcNode>();
+        link.store(n);
+    }
+    for (auto _ : state) {
+        orc_ptr<OrcNode*> p = link.load();
+        benchmark::DoNotOptimize(p.get());
+    }
+    link.store(nullptr);
+}
+BENCHMARK(BM_OrcAtomicLoadPrivateDomain);
+
+void BM_MakeOrcDroppedPrivateDomain(benchmark::State& state) {
+    auto dom = std::make_unique<OrcDomain>();
+    ScopedDomain guard(*dom);
+    for (auto _ : state) {
+        orc_ptr<OrcNode*> node = make_orc<OrcNode>();  // retired+freed in *dom
+        benchmark::DoNotOptimize(node.get());
+    }
+}
+BENCHMARK(BM_MakeOrcDroppedPrivateDomain);
 
 // ---- orc_ptr copy vs raw copy -------------------------------------------
 

@@ -1,6 +1,6 @@
 // Retire-path cost vs cascade shape and thread count.
 //
-// OrcGC's hot reclamation cost is OrcEngine::retire(): every retired object —
+// OrcGC's hot reclamation cost is OrcDomain::retire(): every retired object —
 // including each node flattened through the recursive-retire list during
 // cascading destructor retires — must prove Lemma 1's "no hazardous pointer
 // covers me" condition against the published hp arrays. This bench measures
@@ -128,7 +128,7 @@ void run_all_shapes(const char* mix, const BenchConfig& cfg) {
 /// it touched. Returns false if the fanout cascade exceeded the 2-snapshot
 /// budget the batched path is designed to meet.
 bool report_stats() {
-    auto& engine = OrcEngine::instance();
+    auto& engine = OrcDomain::global();
     constexpr int kCascades = 200;
     bool ok = true;
     struct Shape {
@@ -144,7 +144,7 @@ bool report_stats() {
         engine.reset_stats();
         std::uint64_t nodes = 0;
         for (int i = 0; i < kCascades; ++i) nodes += shape.one();
-        const OrcEngine::RetireStats s = engine.stats();
+        const OrcDomain::RetireStats s = engine.stats();
         const double snapshots_per_cascade = static_cast<double>(s.snapshots) / kCascades;
         const double scans_per_node = static_cast<double>(s.scans) / static_cast<double>(nodes);
         const double slots_per_node =

@@ -1,0 +1,33 @@
+// Fatal-error reporting for unrecoverable invariant violations.
+//
+// The reclamation engine has a handful of hard capacity/protocol errors that
+// are programming mistakes, not runtime conditions: exceeding kMaxThreads,
+// exhausting a thread's hp indices, destroying a domain that still owns
+// objects. These must fail loudly and immediately — limping on would turn a
+// diagnosable bug into silent memory corruption. fatal() prints one line to
+// stderr and aborts, which the death tests assert on (the message, not just
+// the abort, is part of the contract).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace orcgc {
+
+/// Prints a printf-style diagnostic (newline appended) to stderr and aborts.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+[[noreturn]] inline void
+fatal(const char* fmt, ...) {
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace orcgc

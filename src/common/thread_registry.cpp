@@ -1,7 +1,6 @@
 #include "common/thread_registry.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include "common/fatal.hpp"
 
 namespace orcgc {
 namespace detail {
@@ -27,8 +26,12 @@ int ThreadRegistry::acquire() {
             return tid;
         }
     }
-    std::fprintf(stderr, "orcgc: more than %d concurrent threads registered\n", kMaxThreads);
-    std::abort();
+    fatal(
+        "orcgc: thread registry exhausted: more than %d threads are registered "
+        "concurrently. Every thread that touches an OrcGC structure claims a dense id "
+        "for its hazardous-pointer slots; raise orcgc::kMaxThreads "
+        "(src/common/thread_registry.hpp) or cap the worker pool.",
+        kMaxThreads);
 }
 
 void ThreadRegistry::release(int tid) {
@@ -46,8 +49,7 @@ void ThreadRegistry::add_exit_hook(ExitHook hook) {
     }
     const int slot = num_hooks_.fetch_add(1, std::memory_order_acq_rel);
     if (slot >= kMaxHooks) {
-        std::fprintf(stderr, "orcgc: too many thread-exit hooks\n");
-        std::abort();
+        fatal("orcgc: too many thread-exit hooks (max %d)", kMaxHooks);
     }
     hooks_[slot].store(hook, std::memory_order_release);
 }
@@ -56,8 +58,9 @@ namespace {
 
 // RAII holder whose construction claims a tid and whose destruction (at
 // thread exit) releases it. The cached tl_thread_id stays valid through the
-// exit hooks (they run inside release(), and e.g. OrcEngine::drain_thread
-// re-enters thread_id()) and is invalidated only after the slot is free.
+// exit hooks (they run inside release(), and e.g. the domain registry's
+// drain re-enters thread_id()) and is invalidated only after the slot is
+// free.
 struct ThreadSlot {
     int tid;
     ThreadSlot() : tid(ThreadRegistry::instance().acquire()) {}

@@ -28,8 +28,9 @@ class ThreadRegistry {
   public:
     static ThreadRegistry& instance();
 
-    /// Claims the lowest free slot. Aborts if more than kMaxThreads threads
-    /// are simultaneously registered (a hard capacity error, not a race).
+    /// Claims the lowest free slot. Calls fatal() — a diagnostic plus abort,
+    /// asserted by a death test — if more than kMaxThreads threads are
+    /// simultaneously registered (a hard capacity error, not a race).
     int acquire();
 
     /// Returns a slot to the free pool. Runs all registered exit hooks first.

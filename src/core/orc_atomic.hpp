@@ -5,6 +5,14 @@
 // (store / compare_exchange / exchange) keep the targets' _orc hard-link
 // counters up to date, and whose load() returns a protected orc_ptr.
 //
+// Domain routing: counter updates go to the TARGET object's domain
+// (orc_increment / orc_decrement follow the _orc_dom tag), because the
+// retire scan a decrement can trigger must walk the hp slots that protect
+// that object. Protection for load() goes to the calling thread's AMBIENT
+// domain (current_domain(), installed by the data structure's ScopedDomain
+// guard) — the structure being traversed and the objects it links are in
+// the same domain, and load(OrcDomain&) names one explicitly when needed.
+//
 // Contract inherited from the paper: the *new* value written by store(),
 // cas() or exchange() must be protected by the calling thread at the moment
 // of the call — in practice it always is, because data-structure code only
@@ -19,7 +27,7 @@
 
 #include "common/marked_ptr.hpp"
 #include "core/orc_base.hpp"
-#include "core/orc_gc.hpp"
+#include "core/orc_domain.hpp"
 #include "core/orc_ptr.hpp"
 
 namespace orcgc {
@@ -42,22 +50,26 @@ class orc_atomic {
     /// Destroying the link removes one hard link from the target; this is
     /// what cascades reclamation when a node is deleted (§4.1: "the
     /// orc_atomic destructor will decrement the orc counter of the object it
-    /// was pointing to").
+    /// was pointing to"). The decrement runs in the target's own domain.
     ~orc_atomic() {
         T old = link_.load(std::memory_order_relaxed);
-        OrcEngine::instance().decrement_orc(OrcEngine::to_base(old));
+        orc_decrement(to_base(old));
     }
 
     // ---- reads -------------------------------------------------------------
 
-    /// Protected load: returns an orc_ptr owning a fresh hp index with the
-    /// read value published (Algorithm 4 lines 76–79, minus the idx-0
-    /// temporary — see DESIGN.md).
-    orc_ptr<T> load() const {
-        auto& engine = OrcEngine::instance();
-        const int idx = engine.get_new_idx();
-        T ptr = engine.template get_protected<T>(link_, idx);
-        return orc_ptr<T>(ptr, idx);
+    /// Protected load in the calling thread's ambient domain: returns an
+    /// orc_ptr owning a fresh hp index with the read value published
+    /// (Algorithm 4 lines 76–79, minus the idx-0 temporary — see DESIGN.md).
+    orc_ptr<T> load() const { return load(current_domain()); }
+
+    /// Protected load with the protecting domain named explicitly. The link
+    /// target must belong to `dom` (retire scans only find protections in
+    /// the object's own domain).
+    orc_ptr<T> load(OrcDomain& dom) const {
+        const int idx = dom.get_new_idx();
+        T ptr = dom.template get_protected<T>(link_, idx);
+        return orc_ptr<T>(ptr, idx, &dom);
     }
 
     /// Unprotected raw read. Only safe when the caller already protects the
@@ -73,10 +85,9 @@ class orc_atomic {
     /// (Algorithm 4 lines 63–67). `desired`'s object must be protected by
     /// the caller (or be nullptr).
     void store(T desired) {
-        auto& engine = OrcEngine::instance();
-        engine.increment_orc(OrcEngine::to_base(desired));
+        orc_increment(to_base(desired));
         T old = link_.exchange(desired, std::memory_order_seq_cst);
-        engine.decrement_orc(OrcEngine::to_base(old));
+        orc_decrement(to_base(old));
     }
     void store(const orc_ptr<T>& desired) { store(desired.get()); }
     void store(std::nullptr_t) { store(T{nullptr}); }
@@ -97,27 +108,31 @@ class orc_atomic {
         if (!link_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst)) {
             return false;
         }
-        auto& engine = OrcEngine::instance();
-        engine.increment_orc(OrcEngine::to_base(desired));
-        engine.decrement_orc(OrcEngine::to_base(expected));
+        orc_increment(to_base(desired));
+        orc_decrement(to_base(expected));
         return true;
     }
     bool cas(T expected, T desired) { return compare_exchange_strong(expected, desired); }
 
     /// exchange: returns the displaced value as a protected orc_ptr. The
     /// displaced link's counter still includes our removed link until we
-    /// decrement, so publishing before decrementing keeps it alive.
+    /// decrement, so publishing before decrementing keeps it alive. The
+    /// protection is taken in the displaced object's own domain (that is
+    /// where retire scans will look for it).
     orc_ptr<T> exchange(T desired) {
-        auto& engine = OrcEngine::instance();
-        engine.increment_orc(OrcEngine::to_base(desired));
+        orc_increment(to_base(desired));
         T old = link_.exchange(desired, std::memory_order_seq_cst);
-        const int idx = engine.get_new_idx();
-        engine.protect_ptr(OrcEngine::to_base(old), idx);
-        engine.decrement_orc(OrcEngine::to_base(old));
-        return orc_ptr<T>(old, idx);
+        orc_base* old_base = to_base(old);
+        OrcDomain& dom = old_base != nullptr ? domain_of(old_base) : current_domain();
+        const int idx = dom.get_new_idx();
+        dom.protect_ptr(old_base, idx);
+        orc_decrement(old_base);
+        return orc_ptr<T>(old, idx, &dom);
     }
 
   private:
+    static orc_base* to_base(T ptr) noexcept { return OrcDomain::to_base(ptr); }
+
     std::atomic<T> link_;
 };
 

@@ -22,6 +22,8 @@
 
 namespace orcgc {
 
+class OrcDomain;  // the reclamation domain an object is tagged with (orc_domain.hpp)
+
 namespace orc {
 
 inline constexpr int kSeqShift = 24;                   // first bit of the sequence field
@@ -57,6 +59,14 @@ inline constexpr std::uint64_t seq(std::uint64_t x) noexcept { return x >> kSeqS
 /// scheme itself needs only the one _orc word).
 struct orc_base {
     std::atomic<std::uint64_t> _orc{orc::kOrcZero};
+
+    /// Owning reclamation domain, written once by make_orc_in before the
+    /// object can escape its creating thread and immutable afterwards (hence
+    /// a plain pointer: every cross-thread read is ordered after the seq_cst
+    /// publication that made the object reachable). nullptr — the state of
+    /// objects allocated behind make_orc's back — routes to the global
+    /// domain.
+    OrcDomain* _orc_dom = nullptr;
 
     /// Drops the retire token; returns the post-drop _orc value. Used only by
     /// the engine's resurrection path (Algorithm 6). Token release is not a

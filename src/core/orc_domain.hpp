@@ -1,0 +1,852 @@
+// OrcDomain: an instance-scoped OrcGC reclamation domain (paper §4.1,
+// Algorithms 3, 5 and 6 — engine logic unchanged; the scope changed).
+//
+// The paper presents PassThePointerOrcGC as a process-wide service. This
+// header generalizes it: all reclamation state — per-thread hazardous
+// pointers, handover slots, watermarks, retire scratch — lives in an
+// OrcDomain instance, and any number of domains can coexist. Objects are
+// tagged with their owning domain at allocation (orc_base::_orc_dom), so
+// counter updates and retires route to the right domain no matter which
+// thread performs them, while protection (load / make_orc) uses the
+// *ambient* domain — a thread-local set by ScopedDomain, defaulting to the
+// global domain. OrcEngine (orc_gc.hpp) survives as a thin façade over
+// OrcDomain::global() so single-domain code keeps compiling unchanged.
+//
+// Why domains: one tenant parking dozens of hazardous pointers, or retiring
+// in storms, inflates every other tenant's retire scans when all state is
+// shared (the cross-thread interference cost identified by Stamp-it, and
+// avoided by Hyaline's instance-local state). A domain's retire scans walk
+// only that domain's hp slots, so noisy neighbors in other domains cost the
+// quiet domain nothing (bench_domains measures exactly this).
+//
+// Per-domain, per-thread state (DomainState, ex-TLInfo):
+//   * hp[]        published hazardous pointers (index 0 is a scratch slot
+//                 used internally while mutating _orc — Proposition 1),
+//   * handovers[] the pass-the-pointer parking slots paired 1:1 with hp,
+//   * used_haz[]  thread-local reference counts of how many live orc_ptr
+//                 instances share each hp index,
+//   * hp_wm /     published scan bounds so retire scans touch only the slots
+//     hp_peak     a thread actually uses (see "Retire-path complexity" in
+//                 DESIGN.md),
+//   * the recursion guard that flattens cascading retires (a deleted node's
+//     orc_atomic members decrement — and possibly retire — their targets).
+//
+// Retire scans come in two flavours:
+//   * per-object (retire_one / try_handover): the paper's Algorithm 6 scan,
+//     used for small cascade generations and as the slow path;
+//   * batched (retire_generation_batched): one sorted snapshot of every
+//     published hp per cascade *generation*, then O(log S) membership tests
+//     per retired object. The snapshot must be per-generation — objects
+//     pushed while a generation is deleted acquire their retire tokens
+//     *after* the previous snapshot, and Lemma 1's scan is only valid when
+//     it starts after the token is taken.
+//
+// Destruction protocol (non-global domains; DESIGN.md "Layering and
+// domains"): the destructor unpublishes every hp slot, drains every
+// handover through the full retire cascade, verifies nothing re-parked, and
+// calls fatal() if the domain still owns unreclaimed objects — destroying a
+// domain whose objects are still referenced is a protocol violation, not a
+// condition to limp past. The global domain keeps the old lenient
+// process-teardown sweep because it dies during static destruction, after
+// the main thread's registry slot is already gone.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/fatal.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
+#include "core/orc_base.hpp"
+
+// Advertised to benches/tests: compiled with -DORCGC_STATS=1 every domain
+// exposes OrcDomain::RetireStats / stats() / reset_stats(). Consumers guard
+// on ORCGC_HAS_RETIRE_STATS (not ORCGC_STATS) so they also compile against
+// engine revisions that predate the counters.
+#ifdef ORCGC_STATS
+#define ORCGC_HAS_RETIRE_STATS 1
+// Owner-thread relaxed increment; stats() sums across threads.
+#define ORC_RETIRE_STAT(t, field, n) ((t).field.fetch_add((n), std::memory_order_relaxed))
+#else
+// Evaluates nothing but still "reads" n so counting variables in the
+// instrumentation paths do not trip -Wunused-but-set-variable.
+#define ORC_RETIRE_STAT(t, field, n) ((void)(n))
+#endif
+
+namespace orcgc {
+
+class OrcDomain;
+
+namespace detail {
+
+/// Tracks every live OrcDomain so that ONE registry-level thread-exit hook
+/// can drain the departing thread's slots in all of them (hooks are
+/// process-lifetime and capped at kMaxHooks, so per-domain hooks would leak
+/// slots and cap the domain count). ~OrcDomain removes itself under the
+/// same mutex the drain holds, so a domain can never be torn down while an
+/// exiting thread is still draining into it.
+class DomainRegistry {
+  public:
+    static DomainRegistry& instance() {
+        // Constructed before the first OrcDomain (whose constructor calls
+        // add()), hence destroyed after the last one — including the global
+        // domain during static teardown.
+        static DomainRegistry registry;
+        return registry;
+    }
+
+    void add(OrcDomain* domain) {
+        std::lock_guard<std::mutex> lock(mu_);
+        domains_.push_back(domain);
+    }
+
+    void remove(OrcDomain* domain) {
+        std::lock_guard<std::mutex> lock(mu_);
+        domains_.erase(std::remove(domains_.begin(), domains_.end(), domain), domains_.end());
+    }
+
+  private:
+    DomainRegistry() { add_thread_exit_hook(&DomainRegistry::thread_exit_hook); }
+
+    static void thread_exit_hook(int tid);  // defined after OrcDomain
+
+    std::mutex mu_;
+    std::vector<OrcDomain*> domains_;
+};
+
+}  // namespace detail
+
+/// The calling thread's ambient domain; nullptr means the global domain.
+/// Managed by ScopedDomain — engine code must go through current_domain().
+inline thread_local OrcDomain* tl_current_domain = nullptr;
+
+class OrcDomain {
+  public:
+    /// Per-thread hazardous-pointer capacity. Index 0 is reserved scratch;
+    /// indices [1, kMaxHPs) are handed to orc_ptr instances.
+    static constexpr int kMaxHPs = 64;
+
+    /// Cascade generations at least this large take the batched snapshot
+    /// path; smaller ones run the per-object scan (a snapshot of T threads
+    /// costs about as much as one try_handover pass, so it has to amortize
+    /// over several objects to win).
+    static constexpr std::size_t kSnapshotMin = 4;
+
+    /// The process-wide default domain — what OrcEngine::instance() fronts
+    /// and what untagged objects (orc_base::_orc_dom == nullptr) route to.
+    static OrcDomain& global() {
+        static OrcDomain domain(/*is_global=*/true);
+        return domain;
+    }
+
+    /// A fresh, independent reclamation domain. Retire scans inside it walk
+    /// only its own hp slots; its destruction runs the drain protocol below.
+    OrcDomain() : OrcDomain(/*is_global=*/false) {}
+
+    OrcDomain(const OrcDomain&) = delete;
+    OrcDomain& operator=(const OrcDomain&) = delete;
+
+    ~OrcDomain();  // defined below (needs DomainRegistry)
+
+    // ---- hp index management (Algorithm 6) -------------------------------
+
+    /// Claims a free hp index for the calling thread (used_haz goes 0 -> 1).
+    /// O(1): free indices are recycled through a per-thread stack, seeded so
+    /// that the lowest indices pop first (keeps the published watermark
+    /// tight).
+    int get_new_idx() {
+        auto& t = tl_[thread_id()];
+        if (t.free_top < 0) {
+            if (t.free_initialized) {
+                fatal("orcgc: thread exceeded %d live orc_ptr indices in one domain", kMaxHPs);
+            }
+            for (int idx = kMaxHPs - 1; idx >= 1; --idx) t.free_stack[++t.free_top] = idx;
+            t.free_initialized = true;
+        }
+        const int idx = t.free_stack[t.free_top--];
+        t.used_haz[idx] = 1;
+        // Raise-before-publish: this seq_cst store is sequenced before any
+        // seq_cst hp publish on the new index, so a scanner whose watermark
+        // load predates the raise can only miss publications that are
+        // SC-after its scan — and those readers must revalidate against a
+        // source link that the zero counter proves is already gone
+        // (DESIGN.md "Retire-path complexity").
+        if (idx >= t.hp_wm.load(std::memory_order_relaxed)) {
+            t.hp_wm.store(idx + 1, std::memory_order_seq_cst);
+            if (idx >= t.hp_peak.load(std::memory_order_relaxed)) {
+                t.hp_peak.store(idx + 1, std::memory_order_release);
+            }
+        }
+        return idx;
+    }
+
+    /// Adds a sharer to an already-claimed index (orc_ptr copy).
+    void using_idx(int idx) noexcept {
+        if (idx <= 0) return;
+        ++tl_[thread_id()].used_haz[idx];
+    }
+
+    /// Drops a sharer from `idx`; when the last sharer leaves, performs the
+    /// clear() protocol of Algorithm 5: check whether the object this slot
+    /// protected became unreachable (take the retire token while our hp still
+    /// protects the _orc read), then unpublish and drain the paired handover.
+    void release_idx(int idx, orc_base* obj) {
+        if (idx <= 0) return;
+        auto& t = tl_[thread_id()];
+        if (t.used_haz[idx] == 0) {
+            fatal("orcgc: used_haz underflow at idx %d", idx);
+        }
+        if (--t.used_haz[idx] != 0) return;
+        if (obj != nullptr) {
+            // The hp entry still protects obj, so this _orc read cannot be a
+            // use-after-free: any concurrent retire scan would find our hp
+            // and park the object instead of deleting it.
+            std::uint64_t lorc = obj->_orc.load(std::memory_order_seq_cst);
+            if (orc::is_zero_unretired(lorc) &&
+                obj->_orc.compare_exchange_strong(lorc, lorc + orc::kBRetired,
+                                                  std::memory_order_seq_cst)) {
+                // We own the retire token: nobody else can free obj now, so
+                // it is safe to unpublish before scanning.
+                unpublish_and_drain(t, idx);
+                retire(obj);
+                t.free_stack[++t.free_top] = idx;  // recycle only after the clear
+                lower_hp_watermark(t);
+                return;
+            }
+        }
+        unpublish_and_drain(t, idx);
+        t.free_stack[++t.free_top] = idx;
+        lower_hp_watermark(t);
+    }
+
+    // ---- protection -------------------------------------------------------
+
+    /// Publishes `ptr` (unmarked) at hp index `idx` with a full fence.
+    void protect_ptr(orc_base* ptr, int idx) noexcept {
+        auto& slot = tl_[thread_id()].hp[idx];
+        tsan_release_protection(slot);
+        slot.exchange(ptr, std::memory_order_seq_cst);
+    }
+
+    /// Classic hazard-pointer acquire loop (Algorithm 2 lines 4–11): publish
+    /// the value read from addr, re-read until stable. Returns the raw
+    /// (possibly marked) value; the published hazard is the unmarked object.
+    template <typename T>
+    T get_protected(const std::atomic<T>& addr, int idx) noexcept {
+        auto& hp = tl_[thread_id()].hp[idx];
+        orc_base* pub = hp.load(std::memory_order_relaxed);
+        while (true) {
+            T ptr = addr.load(std::memory_order_seq_cst);
+            orc_base* base = to_base(ptr);
+            if (base == pub) return ptr;
+            tsan_release_protection(hp);  // previous publication loses coverage
+            hp.exchange(base, std::memory_order_seq_cst);
+            pub = base;
+        }
+    }
+
+    /// Scratch-slot (index 0) publication used while mutating _orc
+    /// (Proposition 1). Must be paired with scratch_release().
+    void scratch_protect(orc_base* ptr) noexcept {
+        auto& slot = tl_[thread_id()].hp[0];
+        tsan_release_protection(slot);
+        slot.exchange(ptr, std::memory_order_seq_cst);
+    }
+
+    /// Clears the scratch slot and drains anything parked on it by a
+    /// concurrent retire scan that found our scratch publication.
+    void scratch_release() {
+        auto& t = tl_[thread_id()];
+        unpublish_and_drain(t, 0);
+    }
+
+    // ---- counter updates (Algorithm 4's incrementOrc / decrementOrc) ------
+    //
+    // Route through these on the object's OWN domain (domain_of) — the
+    // retire scans they can trigger must walk the hp slots of the domain the
+    // object's protections live in.
+
+    /// Adds one hard link to obj. Precondition: the caller has obj protected
+    /// (it holds an orc_ptr to it), so the _orc access is safe.
+    void increment_orc(orc_base* obj) {
+        if (obj == nullptr) return;
+        const std::uint64_t lorc =
+            obj->_orc.fetch_add(orc::kSeqInc + 1, std::memory_order_seq_cst) + orc::kSeqInc + 1;
+        if (!orc::is_zero_unretired(lorc)) return;
+        // The increment brought a transiently-negative counter back to zero:
+        // the object may be unreachable; try to take the retire token.
+        std::uint64_t expected = lorc;
+        if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
+                                              std::memory_order_seq_cst)) {
+            retire(obj);
+        }
+    }
+
+    /// Removes one hard link from obj. The caller may NOT have obj protected
+    /// (e.g. the displaced value of a store), so the scratch slot shields the
+    /// _orc access (Proposition 1).
+    void decrement_orc(orc_base* obj) {
+        if (obj == nullptr) return;
+        scratch_protect(obj);
+        const std::uint64_t lorc =
+            obj->_orc.fetch_add(orc::kSeqInc - 1, std::memory_order_seq_cst) + orc::kSeqInc - 1;
+        if (orc::is_zero_unretired(lorc)) {
+            std::uint64_t expected = lorc;
+            if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
+                                                  std::memory_order_seq_cst)) {
+                scratch_release();
+                retire(obj);
+                return;
+            }
+        }
+        scratch_release();
+    }
+
+    // ---- retire (Algorithm 5, batched) ------------------------------------
+
+    /// Runs the pass-the-pointer retire protocol for an object whose retire
+    /// token (kBRetired) the caller holds. Deletes the object if Lemma 1's
+    /// condition (counter at zero AND no hazardous pointer, atomically
+    /// validated via the sequence field) holds; otherwise hands it over or
+    /// drops the token.
+    ///
+    /// Cascades are processed in generations: deleting generation g's objects
+    /// runs destructors whose decrements push generation g+1 into
+    /// recursive_list. Generations of kSnapshotMin+ objects share one hp
+    /// snapshot; smaller ones scan per object.
+    void retire(orc_base* ptr) {
+        auto& t = tl_[thread_id()];
+        if (t.retire_started) {
+            // Cascading retire from inside a node destructor: flatten it.
+            t.recursive_list.push_back(ptr);
+            return;
+        }
+        t.retire_started = true;
+        t.recursive_list.push_back(ptr);
+        std::size_t begin = 0;
+        while (begin < t.recursive_list.size()) {
+            const std::size_t end = t.recursive_list.size();
+            if (end - begin >= kSnapshotMin) {
+                retire_generation_batched(t, begin, end);
+            } else {
+                for (std::size_t i = begin; i < end; ++i) retire_one(t.recursive_list[i]);
+            }
+            begin = end;
+        }
+        t.recursive_list.clear();
+        t.retire_started = false;
+    }
+
+#ifdef ORCGC_STATS
+    /// Retire-path instrumentation (ORCGC_STATS builds only; see README).
+    /// Counters are per-domain: a noisy neighbor's scans never show up in
+    /// another domain's stats (bench_domains gates on this).
+    struct RetireStats {
+        std::uint64_t scans = 0;          ///< per-object try_handover passes
+        std::uint64_t snapshots = 0;      ///< full-HP-array snapshots taken
+        std::uint64_t slots_scanned = 0;  ///< hp slots loaded by scans + snapshots
+        std::uint64_t batch_frees = 0;    ///< deletes proven by a snapshot
+        std::uint64_t slow_frees = 0;     ///< deletes proven by a per-object scan
+        std::uint64_t handovers = 0;      ///< objects parked on another thread's hp
+    };
+
+    /// Sums this domain's per-thread counters over every registered tid.
+    RetireStats stats() const noexcept {
+        RetireStats s;
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            const auto& t = tl_[it];
+            s.scans += t.stat_scans.load(std::memory_order_relaxed);
+            s.snapshots += t.stat_snapshots.load(std::memory_order_relaxed);
+            s.slots_scanned += t.stat_slots_scanned.load(std::memory_order_relaxed);
+            s.batch_frees += t.stat_batch_frees.load(std::memory_order_relaxed);
+            s.slow_frees += t.stat_slow_frees.load(std::memory_order_relaxed);
+            s.handovers += t.stat_handovers.load(std::memory_order_relaxed);
+        }
+        return s;
+    }
+
+    void reset_stats() noexcept {
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            auto& t = tl_[it];
+            t.stat_scans.store(0, std::memory_order_relaxed);
+            t.stat_snapshots.store(0, std::memory_order_relaxed);
+            t.stat_slots_scanned.store(0, std::memory_order_relaxed);
+            t.stat_batch_frees.store(0, std::memory_order_relaxed);
+            t.stat_slow_frees.store(0, std::memory_order_relaxed);
+            t.stat_handovers.store(0, std::memory_order_relaxed);
+        }
+    }
+#endif  // ORCGC_STATS
+
+    // ---- introspection (tests / memory-bound benches) ----------------------
+
+    /// Objects allocated into this domain (make_orc_in) and not yet
+    /// reclaimed. Exact at quiescence; approximate while threads mutate.
+    std::int64_t object_count() const noexcept {
+        return tracked_objects_.load(std::memory_order_acquire);
+    }
+
+    /// True for the process-wide default domain (OrcDomain::global()).
+    bool is_global() const noexcept { return is_global_; }
+
+    /// Pointers currently parked in handover slots across all threads.
+    /// Bounded by hp_peak, not hp_wm: a scanner that read a stale hp can park
+    /// into a slot after its index was recycled and the watermark lowered.
+    std::size_t handover_count() const noexcept {
+        std::size_t total = 0;
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            const int peak = tl_[it].hp_peak.load(std::memory_order_acquire);
+            for (int idx = 0; idx < peak; ++idx) {
+                if (tl_[it].handovers[idx].load(std::memory_order_acquire) != nullptr) ++total;
+            }
+        }
+        return total;
+    }
+
+    /// Live orc_ptr sharers on the calling thread (slot-leak checks).
+    int used_idx_count() const noexcept {
+        const auto& t = tl_[thread_id()];
+        const int peak = t.hp_peak.load(std::memory_order_relaxed);
+        int used = 0;
+        for (int idx = 1; idx < peak; ++idx) {
+            if (t.used_haz[idx] != 0) ++used;
+        }
+        return used;
+    }
+
+    /// One past the highest hp index ever claimed by any registered thread
+    /// (max of the per-thread peaks; >= 1 because slot 0 is always live).
+    int hp_watermark() const noexcept {
+        int max_peak = 1;
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            max_peak = std::max(max_peak, tl_[it].hp_peak.load(std::memory_order_acquire));
+        }
+        return max_peak;
+    }
+
+    /// The calling thread's *current* scan bound — one past its highest
+    /// claimed hp index. Unlike hp_peak this tightens again when indices are
+    /// released (tests assert the tightening).
+    int hp_watermark_self() const noexcept {
+        return tl_[thread_id()].hp_wm.load(std::memory_order_relaxed);
+    }
+
+    /// Debug aid: prints the calling thread's non-free slots.
+    void debug_dump_slots() const {
+        const auto& t = tl_[thread_id()];
+        const int peak = t.hp_peak.load(std::memory_order_relaxed);
+        for (int idx = 1; idx < peak; ++idx) {
+            if (t.used_haz[idx] != 0) {
+                std::fprintf(stderr, "  idx=%d used=%u hp=%p handover=%p\n", idx,
+                             t.used_haz[idx],
+                             (void*)t.hp[idx].load(std::memory_order_seq_cst),
+                             (void*)t.handovers[idx].load(std::memory_order_seq_cst));
+            }
+        }
+    }
+
+    /// Converts a (possibly marked) node pointer to its orc_base address.
+    template <typename T>
+    static orc_base* to_base(T ptr) noexcept {
+        return static_cast<orc_base*>(get_unmarked(ptr));
+    }
+
+    // ---- internal (make_orc_in / façade plumbing) --------------------------
+
+    /// Records an allocation into this domain. Called by make_orc_in after
+    /// tagging the object, before it can escape.
+    void note_tracked_allocation() noexcept {
+        tracked_objects_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    /// Per-domain, per-thread slot machinery (the paper's thread-local
+    /// arrays, instance-scoped).
+    struct alignas(kCacheLineSize) DomainState {
+        std::atomic<orc_base*> hp[kMaxHPs] = {};
+        // Own cache lines: handovers are written by *other* threads.
+        alignas(kCacheLineSize) std::atomic<orc_base*> handovers[kMaxHPs] = {};
+        // Published scan bounds, read by every other thread's retire scans
+        // (own cache line: must not false-share with the owner-hot used_haz):
+        //   hp_wm   one past the highest *currently claimed* hp index; raised
+        //           by get_new_idx before any publish on the new index,
+        //           lowered by release_idx when the top index frees. Floor 1:
+        //           the scratch slot is always scanned.
+        //   hp_peak monotonic high-water mark; bound for handover draining
+        //           and introspection (late parks can land at recycled
+        //           indices above hp_wm).
+        alignas(kCacheLineSize) std::atomic<int> hp_wm{1};
+        std::atomic<int> hp_peak{1};
+        alignas(kCacheLineSize) std::uint32_t used_haz[kMaxHPs] = {};
+        // O(1) index recycling (thread-local; seeded lazily on first use).
+        int free_stack[kMaxHPs];
+        int free_top = -1;
+        bool free_initialized = false;
+        bool retire_started = false;
+        // Grown-once scratch: capacity is retained across calls, so
+        // steady-state retires never touch the heap.
+        std::vector<orc_base*> recursive_list;  // pending cascade generations
+        std::vector<orc_base*> snapshot;        // sorted hp snapshot
+        std::vector<std::uint64_t> gen_lorc;    // pre-read _orc per gen object
+#ifdef ORCGC_STATS
+        std::atomic<std::uint64_t> stat_scans{0};
+        std::atomic<std::uint64_t> stat_snapshots{0};
+        std::atomic<std::uint64_t> stat_slots_scanned{0};
+        std::atomic<std::uint64_t> stat_batch_frees{0};
+        std::atomic<std::uint64_t> stat_slow_frees{0};
+        std::atomic<std::uint64_t> stat_handovers{0};
+#endif
+    };
+
+    explicit OrcDomain(bool is_global);  // defined below (needs DomainRegistry)
+
+    /// Reclaims one object this domain proved unreachable: unwinds the
+    /// domain's tracked-object accounting, then deletes (which may push
+    /// cascaded retires into recursive_list).
+    void destroy(orc_base* ptr);  // defined below (needs domain_of)
+
+    /// Called (via DomainRegistry) while `tid` is still owned by the exiting
+    /// thread; runs for EVERY live domain the process has.
+    void drain_thread(int tid) {
+        auto& t = tl_[tid];
+        const int peak = t.hp_peak.load(std::memory_order_acquire);
+        for (int idx = 0; idx < peak; ++idx) {
+            tsan_release_protection(t.hp[idx]);
+            t.hp[idx].store(nullptr, std::memory_order_seq_cst);
+            if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
+                retire(h);
+            }
+        }
+        // Fresh start for the next thread that reuses this tid. hp_peak stays
+        // monotonic on purpose: a scanner that read a stale hp just before
+        // this drain can still park into one of these handover slots, and the
+        // next drain (or the domain destructor) must keep looking there.
+        t.hp_wm.store(1, std::memory_order_seq_cst);
+    }
+
+    /// Tightens the published scan bound after an index was recycled. Only
+    /// the owner thread writes hp_wm, so a plain scan-check-store suffices;
+    /// slots below the new bound that are free all hold null hp entries, so
+    /// scanners lose nothing by skipping them.
+    ///
+    /// Hysteresis: the bound only moves when it can tighten by at least two
+    /// slots. Without the slack, a workload holding one orc_ptr at a time
+    /// would alternate get_new_idx's raise with a lower here — two seq_cst
+    /// stores per protect/release cycle on the hot path. With it, steady
+    /// oscillation around the bound settles one slot high and generates no
+    /// watermark traffic at all; scanners pay at most one extra null slot
+    /// per thread.
+    void lower_hp_watermark(DomainState& t) noexcept {
+        const int wm = t.hp_wm.load(std::memory_order_relaxed);
+        int top = wm - 1;
+        while (top >= 1 && t.used_haz[top] == 0) --top;
+        const int tightened = top < 1 ? 1 : top + 1;
+        if (tightened <= wm - 2) t.hp_wm.store(tightened, std::memory_order_seq_cst);
+    }
+
+    void unpublish_and_drain(DomainState& t, int idx) {
+        // Release suffices for the clear (paper Alg. 2 line 14): a scanner
+        // reading the stale non-null hp parks conservatively; only *publish*
+        // needs the full fence.
+        tsan_release_protection(t.hp[idx]);
+        t.hp[idx].store(nullptr, std::memory_order_release);
+        // One seq_cst op on the slot instead of the previous seq_cst
+        // load + seq_cst exchange pair: the guard load is only there to skip
+        // the RMW in the (overwhelmingly common) empty case, and a park it
+        // misses simply waits for the next drain of this slot — the same
+        // window that already exists between the exchange and a late parker.
+        if (t.handovers[idx].load(std::memory_order_acquire) != nullptr) {
+            if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
+                // The parked object carries its retire token; continue the
+                // protocol on its behalf.
+                retire(h);
+            }
+        }
+    }
+
+    /// The per-object protocol of Algorithm 6 for one retired object (token
+    /// held by the caller): resurrection check, hp scan with handover, Lemma 1
+    /// sequence revalidation, delete.
+    void retire_one(orc_base* ptr) {
+        while (ptr != nullptr) {
+            std::uint64_t lorc = ptr->_orc.load(std::memory_order_seq_cst);
+            if (!orc::is_zero_retired(lorc)) {
+                // Resurrected: a thread holding a local reference re-linked
+                // the object. Drop the token (and re-take it if the counter
+                // fell back to zero under us).
+                lorc = clear_bit_retired(ptr);
+                if (lorc == 0) break;  // token dropped; a later decrement re-retires
+            }
+            if (try_handover(ptr)) continue;  // ptr is now the swapped-out pointer
+            const std::uint64_t lorc2 = ptr->_orc.load(std::memory_order_seq_cst);
+            if (lorc2 != lorc) continue;  // _orc moved during the scan: revalidate
+            // Lemma 1: counter zero, token held, no hp found, sequence
+            // unchanged across the scan — safe to destroy.
+            ORC_RETIRE_STAT(tl_[thread_id()], stat_slow_frees, 1);
+            destroy(ptr);  // may push cascaded retires into recursive_list
+            break;
+        }
+    }
+
+    /// Batched form of the Lemma 1 check for one cascade generation
+    /// recursive_list[begin, end): pre-read every object's _orc, take ONE
+    /// sorted snapshot of all published hps, then per object delete iff
+    /// (counter zero + token) held at the pre-read, no snapshot entry covers
+    /// it, and _orc (sequence included) is unchanged after the snapshot.
+    ///
+    /// Soundness (DESIGN.md "Retire-path complexity"): every generation
+    /// member's retire token was acquired before this snapshot started, so a
+    /// protection missed by the snapshot was published SC-after it — such a
+    /// reader revalidates against a source link, and the unchanged sequence
+    /// plus zero counter prove no link contained the object at any point in
+    /// the pre-read..re-read window. Anything else (resurrection, parked
+    /// protection, moved sequence) falls back to retire_one.
+    void retire_generation_batched(DomainState& t, std::size_t begin, std::size_t end) {
+        t.gen_lorc.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            t.gen_lorc.push_back(t.recursive_list[i]->_orc.load(std::memory_order_seq_cst));
+        }
+        take_snapshot(t);
+        for (std::size_t i = begin; i < end; ++i) {
+            orc_base* ptr = t.recursive_list[i];
+            const std::uint64_t lorc = t.gen_lorc[i - begin];
+            if (orc::is_zero_retired(lorc) && !snapshot_contains(t, ptr) &&
+                ptr->_orc.load(std::memory_order_seq_cst) == lorc) {
+                ORC_RETIRE_STAT(t, stat_batch_frees, 1);
+                destroy(ptr);  // pushes the next generation into recursive_list
+                continue;
+            }
+            retire_one(ptr);
+        }
+    }
+
+    /// Collects every published hp (all registered threads, each bounded by
+    /// its own hp_wm — all within THIS domain) into t.snapshot, sorted for
+    /// binary search. Other domains' slots are invisible here: that is the
+    /// isolation property bench_domains measures.
+    void take_snapshot(DomainState& t) {
+        t.snapshot.clear();
+        const int nthreads = thread_id_watermark();
+        std::size_t slots = 0;
+        for (int it = 0; it < nthreads; ++it) {
+            const auto& other = tl_[it];
+            const int wm = other.hp_wm.load(std::memory_order_seq_cst);
+            for (int idx = 0; idx < wm; ++idx) {
+                if (orc_base* p = other.hp[idx].load(std::memory_order_seq_cst)) {
+                    t.snapshot.push_back(p);
+                }
+            }
+            slots += static_cast<std::size_t>(wm);
+        }
+        std::sort(t.snapshot.begin(), t.snapshot.end(), std::less<orc_base*>());
+        ORC_RETIRE_STAT(t, stat_snapshots, 1);
+        ORC_RETIRE_STAT(t, stat_slots_scanned, slots);
+    }
+
+    static bool snapshot_contains(const DomainState& t, orc_base* ptr) noexcept {
+        return std::binary_search(t.snapshot.begin(), t.snapshot.end(), ptr,
+                                  std::less<orc_base*>());
+    }
+
+    /// Algorithm 6 lines 134–145: scan all published hp entries for `ptr`;
+    /// if found, park it in the paired handover slot and take away whatever
+    /// was parked there before. Each thread's scan is bounded by its own
+    /// published hp_wm instead of a global high-water mark.
+    bool try_handover(orc_base*& ptr) {
+        const int nthreads = thread_id_watermark();
+        std::size_t slots = 0;
+        ORC_RETIRE_STAT(tl_[thread_id()], stat_scans, 1);
+        for (int it = 0; it < nthreads; ++it) {
+            auto& other = tl_[it];
+            const int wm = other.hp_wm.load(std::memory_order_seq_cst);
+            for (int idx = 0; idx < wm; ++idx) {
+                ++slots;
+                if (other.hp[idx].load(std::memory_order_seq_cst) == ptr) {
+                    ORC_RETIRE_STAT(tl_[thread_id()], stat_slots_scanned, slots);
+                    ORC_RETIRE_STAT(tl_[thread_id()], stat_handovers, 1);
+                    ptr = other.handovers[idx].exchange(ptr, std::memory_order_seq_cst);
+                    return true;
+                }
+            }
+        }
+        ORC_RETIRE_STAT(tl_[thread_id()], stat_slots_scanned, slots);
+        return false;
+    }
+
+    /// Algorithm 6 lines 147–158: drop the retire token because the counter
+    /// moved off zero. If the counter is back at zero after the drop, re-take
+    /// the token and return the new _orc value (caller continues retiring);
+    /// otherwise return 0 (a future decrement will re-trigger retirement).
+    std::uint64_t clear_bit_retired(orc_base* ptr) {
+        auto& t = tl_[thread_id()];
+        // Publish on scratch: we are about to mutate _orc of an object whose
+        // token we are in the middle of dropping (Proposition 1).
+        tsan_release_protection(t.hp[0]);
+        t.hp[0].exchange(ptr, std::memory_order_seq_cst);
+        const std::uint64_t lorc = ptr->sub_retired();
+        std::uint64_t result = 0;
+        if (orc::is_zero_unretired(lorc)) {
+            std::uint64_t expected = lorc;
+            if (ptr->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
+                                                  std::memory_order_seq_cst)) {
+                result = lorc + orc::kBRetired;
+            }
+        }
+        unpublish_and_drain(t, 0);
+        return result;
+    }
+
+    friend class detail::DomainRegistry;
+
+    const bool is_global_;
+    std::atomic<std::int64_t> tracked_objects_{0};
+    DomainState tl_[kMaxThreads];
+};
+
+// ---- ambient-domain plumbing ---------------------------------------------
+
+/// The domain protection operations use when none is named explicitly:
+/// whatever ScopedDomain set on this thread, else the global domain.
+inline OrcDomain& current_domain() noexcept {
+    OrcDomain* d = tl_current_domain;
+    return d != nullptr ? *d : OrcDomain::global();
+}
+
+/// The domain an object belongs to (tagged at allocation by make_orc_in);
+/// untagged objects belong to the global domain. Safe to call only while
+/// `obj` is guaranteed alive (protected, or hard-linked by the caller):
+/// _orc_dom is written once before the object escapes and never changes.
+inline OrcDomain& domain_of(const orc_base* obj) noexcept {
+    OrcDomain* d = obj->_orc_dom;
+    return d != nullptr ? *d : OrcDomain::global();
+}
+
+/// RAII guard installing `domain` as the calling thread's ambient domain.
+/// Data-structure methods open one of these so every load/make_orc inside
+/// protects in the structure's domain; nesting restores the outer domain.
+class ScopedDomain {
+  public:
+    explicit ScopedDomain(OrcDomain& domain) noexcept : saved_(tl_current_domain) {
+        tl_current_domain = &domain;
+    }
+    ~ScopedDomain() { tl_current_domain = saved_; }
+    ScopedDomain(const ScopedDomain&) = delete;
+    ScopedDomain& operator=(const ScopedDomain&) = delete;
+
+  private:
+    OrcDomain* saved_;
+};
+
+/// Hard-link counter updates, routed to the object's own domain: the retire
+/// scans a counter update can trigger must walk the hp slots of the domain
+/// that protects the object. Null-safe.
+inline void orc_increment(orc_base* obj) {
+    if (obj != nullptr) domain_of(obj).increment_orc(obj);
+}
+inline void orc_decrement(orc_base* obj) {
+    if (obj != nullptr) domain_of(obj).decrement_orc(obj);
+}
+
+// ---- out-of-class definitions (need the full set of types above) ----------
+
+inline void OrcDomain::destroy(orc_base* ptr) {
+    tsan_acquire_for_delete(ptr);
+    if (OrcDomain* d = ptr->_orc_dom) {
+        d->tracked_objects_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    delete ptr;
+}
+
+inline OrcDomain::OrcDomain(bool is_global) : is_global_(is_global) {
+    // Registration wires this domain into the single registry-level
+    // thread-exit drain (and, for non-global domains, guards destruction
+    // against concurrently exiting threads).
+    detail::DomainRegistry::instance().add(this);
+}
+
+inline OrcDomain::~OrcDomain() {
+    // Leave the registry FIRST, under its mutex: after this returns, no
+    // exiting thread can drain into state we are about to tear down.
+    detail::DomainRegistry::instance().remove(this);
+    if (is_global_) {
+        // Process teardown: anything still parked is unreachable by now, and
+        // the main thread's registry slot is already gone (thread_locals die
+        // before statics), so retire()/thread_id() are off limits. Lenient
+        // full-range sweep, exactly the old singleton behavior.
+        for (auto& t : tl_) {
+            for (auto& h : t.handovers) {
+                if (orc_base* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) {
+                    tsan_acquire_for_delete(ptr);
+                    delete ptr;
+                }
+            }
+        }
+        return;
+    }
+    // Non-global destruction protocol. Precondition: no thread concurrently
+    // operates on this domain, and no live orc_ptr into it remains on any
+    // running thread (abandoned protections from exited threads are fine).
+    //
+    // 1. Unpublish every hp slot. With every slot null, a retire scan run by
+    //    step 2 can never find a protection, so nothing can re-park and the
+    //    drain terminates (no livelock by construction).
+    for (auto& t : tl_) {
+        for (auto& hp : t.hp) {
+            tsan_release_protection(hp);
+            hp.store(nullptr, std::memory_order_seq_cst);
+        }
+    }
+    // 2. Drain every handover through the full retire cascade. The parked
+    //    objects carry their retire tokens; their destructors may cascade
+    //    into further retires, which also find no protections and free
+    //    immediately.
+    for (auto& t : tl_) {
+        for (auto& h : t.handovers) {
+            if (orc_base* ptr = h.exchange(nullptr, std::memory_order_seq_cst)) {
+                retire(ptr);
+            }
+        }
+    }
+    // 3. Quiescence checks: the drain must have converged, and every object
+    //    ever allocated into this domain must be gone.
+    for (auto& t : tl_) {
+        for (auto& h : t.handovers) {
+            if (h.load(std::memory_order_seq_cst) != nullptr) {
+                fatal("orcgc: handover re-parked during OrcDomain destruction "
+                      "(domain destroyed while still in use?)");
+            }
+        }
+    }
+    const long long leaked =
+        static_cast<long long>(tracked_objects_.load(std::memory_order_seq_cst));
+    if (leaked != 0) {
+        fatal("orcgc: OrcDomain destroyed with %lld unreclaimed objects — a live "
+              "orc_ptr, a still-linked node, or an undrained structure outlives "
+              "the domain",
+              leaked);
+    }
+}
+
+namespace detail {
+
+inline void DomainRegistry::thread_exit_hook(int tid) {
+    auto& reg = instance();
+    // Hold the mutex across the whole drain: ~OrcDomain::remove() blocks
+    // until we are out of every domain's state.
+    std::lock_guard<std::mutex> lock(reg.mu_);
+    for (OrcDomain* domain : reg.domains_) domain->drain_thread(tid);
+}
+
+}  // namespace detail
+
+}  // namespace orcgc

@@ -2,10 +2,12 @@
 // Algorithm 7).
 //
 // While an orc_ptr is alive, the object it references is published in the
-// owning thread's hazardous-pointer array and therefore cannot be deleted.
-// Copies *share* the hp index through the engine's used_haz reference count;
-// destruction of the last sharer runs the clear() protocol (retire check +
-// handover drain).
+// owning thread's hazardous-pointer array — in the reclamation DOMAIN the
+// orc_ptr was issued from — and therefore cannot be deleted. Copies *share*
+// the hp index through the domain's used_haz reference count; destruction
+// of the last sharer runs the clear() protocol (retire check + handover
+// drain). The orc_ptr remembers its issuing domain, so releases land in the
+// right hp table even after the ambient ScopedDomain guard has unwound.
 //
 // Deviation from the paper's Algorithm 7 (DESIGN.md §1.3): there are no
 // index-0 temporaries — orc_atomic::load() and make_orc() hand out orc_ptrs
@@ -22,7 +24,7 @@
 
 #include "common/marked_ptr.hpp"
 #include "core/orc_base.hpp"
-#include "core/orc_gc.hpp"
+#include "core/orc_domain.hpp"
 
 namespace orcgc {
 
@@ -34,53 +36,63 @@ class orc_ptr {
     static_assert(std::is_pointer_v<T>, "orc_ptr<T> requires a pointer type, e.g. orc_ptr<Node*>");
 
   public:
-    /// Empty reference; owns no hp index.
-    orc_ptr() noexcept : ptr_(nullptr), idx_(kNoIndex) {}
+    /// Empty reference; owns no hp index in any domain.
+    orc_ptr() noexcept : ptr_(nullptr), idx_(kNoIndex), dom_(nullptr) {}
     orc_ptr(std::nullptr_t) noexcept : orc_ptr() {}
 
     /// Adopts an already-protected pointer. Internal: used by
-    /// orc_atomic::load(), make_orc() and the engine-facing factories.
-    /// `idx` must hold a used_haz reference owned by the caller, with the
-    /// unmarked `ptr` published at hp[idx].
-    orc_ptr(T ptr, int idx) noexcept : ptr_(ptr), idx_(idx) {}
+    /// orc_atomic::load(), make_orc_in() and the engine-facing factories.
+    /// `idx` must hold a used_haz reference owned by the caller in `dom`,
+    /// with the unmarked `ptr` published at dom's hp[idx].
+    orc_ptr(T ptr, int idx, OrcDomain* dom) noexcept : ptr_(ptr), idx_(idx), dom_(dom) {}
 
-    orc_ptr(const orc_ptr& other) : ptr_(other.ptr_), idx_(other.idx_) {
-        OrcEngine::instance().using_idx(idx_);
+    /// Two-argument compatibility form: adopts into the global domain (what
+    /// every pre-domain call site meant).
+    orc_ptr(T ptr, int idx) noexcept : orc_ptr(ptr, idx, &OrcDomain::global()) {}
+
+    orc_ptr(const orc_ptr& other) : ptr_(other.ptr_), idx_(other.idx_), dom_(other.dom_) {
+        if (dom_ != nullptr) dom_->using_idx(idx_);
     }
 
-    orc_ptr(orc_ptr&& other) noexcept : ptr_(other.ptr_), idx_(other.idx_) {
+    orc_ptr(orc_ptr&& other) noexcept : ptr_(other.ptr_), idx_(other.idx_), dom_(other.dom_) {
         other.ptr_ = nullptr;
         other.idx_ = kNoIndex;
+        other.dom_ = nullptr;
     }
 
     orc_ptr& operator=(const orc_ptr& other) {
         if (this == &other) return *this;
-        auto& engine = OrcEngine::instance();
-        engine.using_idx(other.idx_);  // before release: safe under self-aliasing
-        engine.release_idx(idx_, base());
+        // Share before release: safe under self-aliasing, and correct across
+        // domains (each used_haz update goes to its own domain's table).
+        if (other.dom_ != nullptr) other.dom_->using_idx(other.idx_);
+        release();
         ptr_ = other.ptr_;
         idx_ = other.idx_;
+        dom_ = other.dom_;
         return *this;
     }
 
     orc_ptr& operator=(orc_ptr&& other) noexcept(false) {
         if (this == &other) return *this;
-        OrcEngine::instance().release_idx(idx_, base());
+        release();
         ptr_ = other.ptr_;
         idx_ = other.idx_;
+        dom_ = other.dom_;
         other.ptr_ = nullptr;
         other.idx_ = kNoIndex;
+        other.dom_ = nullptr;
         return *this;
     }
 
     orc_ptr& operator=(std::nullptr_t) {
-        OrcEngine::instance().release_idx(idx_, base());
+        release();
         ptr_ = nullptr;
         idx_ = kNoIndex;
+        dom_ = nullptr;
         return *this;
     }
 
-    ~orc_ptr() { OrcEngine::instance().release_idx(idx_, base()); }
+    ~orc_ptr() { release(); }
 
     // ---- access -----------------------------------------------------------
 
@@ -107,11 +119,18 @@ class orc_ptr {
     /// Number-of-sharers index, exposed for white-box tests.
     int index() const noexcept { return idx_; }
 
+    /// The domain this reference's protection lives in (nullptr when empty).
+    OrcDomain* domain() const noexcept { return dom_; }
+
   private:
     static constexpr int kNoIndex = -1;
 
     orc_base* base() const noexcept {
-        return idx_ == kNoIndex ? nullptr : OrcEngine::to_base(ptr_);
+        return idx_ == kNoIndex ? nullptr : OrcDomain::to_base(ptr_);
+    }
+
+    void release() {
+        if (dom_ != nullptr) dom_->release_idx(idx_, base());
     }
 
     template <typename U>
@@ -119,6 +138,7 @@ class orc_ptr {
 
     T ptr_;
     int idx_;
+    OrcDomain* dom_;
 };
 
 // Comparisons against raw pointers and between orc_ptrs (by address value,

@@ -54,7 +54,10 @@ class CRFSkipListOrc {
         return reinterpret_cast<std::uintptr_t>(p) == kFlagBit;
     }
 
-    CRFSkipListOrc() {
+    /// Optionally binds the skip list to a reclamation domain (default: global).
+    explicit CRFSkipListOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> head = make_orc<Node>(K{}, Node::Rank::kHead, kSkipListMaxLevel - 1);
         orc_ptr<Node*> tail = make_orc<Node>(K{}, Node::Rank::kTail, kSkipListMaxLevel - 1);
         for (int level = 0; level < kSkipListMaxLevel; ++level) head->next[level].store(tail);
@@ -66,7 +69,11 @@ class CRFSkipListOrc {
     CRFSkipListOrc& operator=(const CRFSkipListOrc&) = delete;
     ~CRFSkipListOrc() = default;
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     bool insert(K key) {
+        ScopedDomain guard(*dom_);
         const int top = random_skiplist_level(tl_rng());
         orc_ptr<Node*> node = make_orc<Node>(key, Node::Rank::kNormal, top);
         orc_ptr<Node*> preds[kSkipListMaxLevel];
@@ -106,6 +113,7 @@ class CRFSkipListOrc {
     }
 
     bool remove(K key) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> preds[kSkipListMaxLevel];
         orc_ptr<Node*> succs[kSkipListMaxLevel];
         if (!find(key, preds, succs)) return false;
@@ -162,6 +170,7 @@ class CRFSkipListOrc {
     /// helper-return, never a backward goto over orc_ptr declarations (gcc
     /// NRVO+goto destructor bug — see michael_list_orc.hpp).
     bool contains(K key) {
+        ScopedDomain guard(*dom_);
         while (true) {
             const int result = contains_attempt(key);
             if (result >= 0) return result != 0;
@@ -286,6 +295,7 @@ class CRFSkipListOrc {
         }
     }
 
+    OrcDomain* const dom_;
     orc_atomic<Node*> head_;
     orc_atomic<Node*> tail_;  // hard link keeps the upper-level poison target immortal
 };

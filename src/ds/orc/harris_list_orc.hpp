@@ -27,7 +27,10 @@ class HarrisListOrc {
         explicit Node(K k) : key(k) {}
     };
 
-    HarrisListOrc() {
+    /// Optionally binds the list to a reclamation domain (default: global).
+    explicit HarrisListOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {
+        ScopedDomain guard(*dom_);
         // Head sentinel (conceptually key = -inf); never marked, never removed.
         orc_ptr<Node*> sentinel = make_orc<Node>(K{});
         head_.store(sentinel);
@@ -37,7 +40,11 @@ class HarrisListOrc {
     HarrisListOrc& operator=(const HarrisListOrc&) = delete;
     ~HarrisListOrc() = default;  // cascade from head_
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     bool insert(K key) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> node = make_orc<Node>(key);
         while (true) {
             Window w = search(key);
@@ -48,6 +55,7 @@ class HarrisListOrc {
     }
 
     bool remove(K key) {
+        ScopedDomain guard(*dom_);
         while (true) {
             Window w = search(key);
             if (!w.right || w.right->key != key) return false;
@@ -64,6 +72,7 @@ class HarrisListOrc {
     }
 
     bool contains(K key) {
+        ScopedDomain guard(*dom_);
         Window w = search(key);
         return w.right && w.right->key == key;
     }
@@ -119,6 +128,7 @@ class HarrisListOrc {
         return !(w.right && w.right->next.load().is_marked());
     }
 
+    OrcDomain* const dom_;
     orc_atomic<Node*> head_;
 };
 

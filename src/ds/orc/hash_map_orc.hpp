@@ -2,16 +2,16 @@
 // the paper the Michael list comes from is literally about these hash
 // tables; the list is its building block).
 //
-// Each bucket is a MichaelListOrc, which carries no per-instance reclaimer
-// state (the OrcGC engine is process-wide), so a bucket costs one
-// orc_atomic head — 8 bytes — and the table scales to many buckets. This is
+// Each bucket is a MichaelListOrc; reclamation state lives in the shared
+// OrcDomain (not per bucket), so a bucket costs one orc_atomic head plus
+// the domain pointer and the table scales to many buckets. This is
 // the "many short chains" complement to the paper's single 10^3-key list
 // benchmark, and an integration test bed combining the annotation-based
 // list with dense fan-out.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <deque>
 
 #include "ds/orc/michael_list_orc.hpp"
 
@@ -27,11 +27,21 @@ inline std::uint64_t mix_hash(std::uint64_t key) noexcept {
 template <typename K>
 class HashMapOrc {
   public:
-    explicit HashMapOrc(std::size_t buckets = 1024)
-        : mask_(round_up_pow2(buckets) - 1), buckets_(mask_ + 1) {}
+    /// Optionally binds the whole table (every bucket list) to a reclamation
+    /// domain (default: global). A deque holds the buckets because the list
+    /// type is neither copyable nor movable once it carries its domain
+    /// binding — deque emplaces in place and never relocates.
+    explicit HashMapOrc(std::size_t buckets = 1024, OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()),
+          mask_(round_up_pow2(buckets) - 1) {
+        for (std::size_t i = 0; i <= mask_; ++i) buckets_.emplace_back(dom_);
+    }
 
     HashMapOrc(const HashMapOrc&) = delete;
     HashMapOrc& operator=(const HashMapOrc&) = delete;
+
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
 
     bool insert(K key) { return bucket(key).insert(key); }
     bool remove(K key) { return bucket(key).remove(key); }
@@ -50,8 +60,9 @@ class HashMapOrc {
         return buckets_[mix_hash(static_cast<std::uint64_t>(key)) & mask_];
     }
 
+    OrcDomain* const dom_;
     const std::size_t mask_;
-    std::vector<MichaelListOrc<K>> buckets_;
+    std::deque<MichaelListOrc<K>> buckets_;
 };
 
 }  // namespace orcgc

@@ -27,12 +27,18 @@ class HSListOrc {
         explicit Node(K k) : key(k) {}
     };
 
-    HSListOrc() = default;
+    /// Optionally binds the list to a reclamation domain (default: global).
+    explicit HSListOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {}
     HSListOrc(const HSListOrc&) = delete;
     HSListOrc& operator=(const HSListOrc&) = delete;
     ~HSListOrc() = default;
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     bool insert(K key) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> node = make_orc<Node>(key);
         while (true) {
             Window w = find(key);
@@ -43,6 +49,7 @@ class HSListOrc {
     }
 
     bool remove(K key) {
+        ScopedDomain guard(*dom_);
         while (true) {
             Window w = find(key);
             if (!w.found) return false;
@@ -56,6 +63,7 @@ class HSListOrc {
     /// increasing along the walk (marked nodes keep their frozen successor),
     /// so the loop terminates after at most |list| steps.
     bool contains(K key) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> curr = head_.load();
         curr.unmark();
         while (curr && curr->key < key) {
@@ -114,6 +122,7 @@ class HSListOrc {
         }
     }
 
+    OrcDomain* const dom_;
     orc_atomic<Node*> head_;
 };
 

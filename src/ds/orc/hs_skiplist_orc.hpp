@@ -57,7 +57,10 @@ class HSSkipListOrc {
         bool equals(K other) const noexcept { return rank == Rank::kNormal && key == other; }
     };
 
-    HSSkipListOrc() {
+    /// Optionally binds the skip list to a reclamation domain (default: global).
+    explicit HSSkipListOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> head = make_orc<Node>(K{}, Node::Rank::kHead, kSkipListMaxLevel - 1);
         orc_ptr<Node*> tail = make_orc<Node>(K{}, Node::Rank::kTail, kSkipListMaxLevel - 1);
         for (int level = 0; level < kSkipListMaxLevel; ++level) head->next[level].store(tail);
@@ -68,7 +71,11 @@ class HSSkipListOrc {
     HSSkipListOrc& operator=(const HSSkipListOrc&) = delete;
     ~HSSkipListOrc() = default;  // cascade from head_
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     bool insert(K key) {
+        ScopedDomain guard(*dom_);
         const int top = random_skiplist_level(tl_rng());
         orc_ptr<Node*> node = make_orc<Node>(key, Node::Rank::kNormal, top);
         orc_ptr<Node*> preds[kSkipListMaxLevel];
@@ -98,6 +105,7 @@ class HSSkipListOrc {
     }
 
     bool remove(K key) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> preds[kSkipListMaxLevel];
         orc_ptr<Node*> succs[kSkipListMaxLevel];
         if (!find(key, preds, succs)) return false;
@@ -124,6 +132,7 @@ class HSSkipListOrc {
     /// Top-to-bottom descent without restarts: steps over marked nodes and
     /// never writes. Removed nodes stay followable (obstacle 2).
     bool contains(K key) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> pred = head_.load();
         orc_ptr<Node*> curr;
         for (int level = kSkipListMaxLevel - 1; level >= 0; --level) {
@@ -197,6 +206,7 @@ class HSSkipListOrc {
         return curr->equals(key) ? 1 : 0;
     }
 
+    OrcDomain* const dom_;
     orc_atomic<Node*> head_;
 };
 

@@ -47,7 +47,10 @@ class KPQueueOrc {
     };
 
   public:
-    KPQueueOrc() {
+    /// Optionally binds the queue to a reclamation domain (default: global).
+    explicit KPQueueOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> sentinel = make_orc<Node>();
         head_.store(sentinel);
         tail_.store(sentinel);
@@ -57,7 +60,11 @@ class KPQueueOrc {
     KPQueueOrc& operator=(const KPQueueOrc&) = delete;
     ~KPQueueOrc() = default;  // state_/head_/tail_ destructors cascade
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     void enqueue(T value) {
+        ScopedDomain guard(*dom_);
         const int tid = thread_id();
         const long phase = max_phase_.fetch_add(1, std::memory_order_acq_rel) + 1;
         orc_ptr<Node*> node = make_orc<Node>(std::move(value), tid);
@@ -68,6 +75,7 @@ class KPQueueOrc {
     }
 
     std::optional<T> dequeue() {
+        ScopedDomain guard(*dom_);
         const int tid = thread_id();
         const long phase = max_phase_.fetch_add(1, std::memory_order_acq_rel) + 1;
         orc_ptr<OpDesc*> desc = make_orc<OpDesc>(phase, true, false, nullptr);
@@ -86,6 +94,7 @@ class KPQueueOrc {
     }
 
     bool empty() {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> first = head_.load();
         return first->next.load() == nullptr;
     }
@@ -198,6 +207,7 @@ class KPQueueOrc {
         head_.cas(first, next);
     }
 
+    OrcDomain* const dom_;
     orc_atomic<Node*> head_;
     orc_atomic<Node*> tail_;
     // Announce slots are written by their owner and scanned by every helper;

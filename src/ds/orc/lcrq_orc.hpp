@@ -150,7 +150,10 @@ class LCRQOrc {
     };
 
   public:
-    LCRQOrc() {
+    /// Optionally binds the queue to a reclamation domain (default: global).
+    explicit LCRQOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Ring*> ring = make_orc<Ring>();
         head_.store(ring);
         tail_.store(ring);
@@ -160,7 +163,11 @@ class LCRQOrc {
     LCRQOrc& operator=(const LCRQOrc&) = delete;
     ~LCRQOrc() = default;  // segments cascade from head_/tail_
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     void enqueue(T value) {
+        ScopedDomain guard(*dom_);
         const std::uint64_t encoded = static_cast<std::uint64_t>(value) + 1;
         while (true) {
             orc_ptr<Ring*> ring = tail_.load();
@@ -180,6 +187,7 @@ class LCRQOrc {
     }
 
     std::optional<T> dequeue() {
+        ScopedDomain guard(*dom_);
         while (true) {
             orc_ptr<Ring*> ring = head_.load();
             if (auto v = ring->dequeue()) return decode(*v);
@@ -194,6 +202,7 @@ class LCRQOrc {
     }
 
     bool empty() {
+        ScopedDomain guard(*dom_);
         orc_ptr<Ring*> ring = head_.load();
         const std::uint64_t h = ring->head.load(std::memory_order_seq_cst);
         const std::uint64_t t = ring->tail.load(std::memory_order_seq_cst) & ~kClosedBit;
@@ -203,6 +212,7 @@ class LCRQOrc {
   private:
     static T decode(std::uint64_t encoded) { return static_cast<T>(encoded - 1); }
 
+    OrcDomain* const dom_;
     orc_atomic<Ring*> head_;
     orc_atomic<Ring*> tail_;
 };

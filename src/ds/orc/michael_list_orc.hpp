@@ -23,13 +23,21 @@ class MichaelListOrc {
         explicit Node(K k) : key(k) {}
     };
 
-    MichaelListOrc() = default;
+    /// Optionally binds the list to a reclamation domain; nodes are
+    /// allocated into it and every operation protects in it. Defaults to
+    /// the global domain (single-domain code is unchanged).
+    explicit MichaelListOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {}
     MichaelListOrc(const MichaelListOrc&) = delete;
     MichaelListOrc& operator=(const MichaelListOrc&) = delete;
     // head_'s destructor drops the first node; the chain cascades.
     ~MichaelListOrc() = default;
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     bool insert(K key) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> node = make_orc<Node>(key);
         while (true) {
             Window w = find(key);
@@ -40,6 +48,7 @@ class MichaelListOrc {
     }
 
     bool remove(K key) {
+        ScopedDomain guard(*dom_);
         while (true) {
             Window w = find(key);
             if (!w.found) return false;
@@ -55,7 +64,10 @@ class MichaelListOrc {
         }
     }
 
-    bool contains(K key) { return find(key).found; }
+    bool contains(K key) {
+        ScopedDomain guard(*dom_);
+        return find(key).found;
+    }
 
   private:
     struct Window {
@@ -110,6 +122,7 @@ class MichaelListOrc {
         }
     }
 
+    OrcDomain* const dom_;
     orc_atomic<Node*> head_;
 };
 

@@ -25,7 +25,10 @@ class MSQueueOrc {
     };
 
   public:
-    MSQueueOrc() {
+    /// Optionally binds the queue to a reclamation domain (default: global).
+    explicit MSQueueOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> sentinel = make_orc<Node>();
         head_.store(sentinel);
         tail_.store(sentinel);
@@ -40,7 +43,11 @@ class MSQueueOrc {
     // trigger the deletion of the entire list").
     ~MSQueueOrc() = default;
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     void enqueue(T item) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> new_node = make_orc<Node>(std::move(item));
         while (true) {
             orc_ptr<Node*> ltail = tail_.load();
@@ -57,6 +64,7 @@ class MSQueueOrc {
     }
 
     std::optional<T> dequeue() {
+        ScopedDomain guard(*dom_);
         while (true) {
             orc_ptr<Node*> node = head_.load();
             orc_ptr<Node*> lnext = node->next.load();
@@ -70,11 +78,13 @@ class MSQueueOrc {
     }
 
     bool empty() const {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> node = head_.load();
         return node->next.load() == nullptr;
     }
 
   private:
+    OrcDomain* const dom_;
     orc_atomic<Node*> head_;
     orc_atomic<Node*> tail_;
 };

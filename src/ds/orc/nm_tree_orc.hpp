@@ -39,7 +39,10 @@ class NMTreeOrc {
     static constexpr K kInf2 = std::numeric_limits<K>::max();
     static constexpr K max_user_key() noexcept { return kInf0 - 1; }
 
-    NMTreeOrc() {
+    /// Optionally binds the tree to a reclamation domain (default: global).
+    explicit NMTreeOrc(OrcDomain* domain = nullptr)
+        : dom_(domain != nullptr ? domain : &OrcDomain::global()) {
+        ScopedDomain guard(*dom_);
         orc_ptr<Node*> r = make_orc<Node>(kInf2);
         orc_ptr<Node*> s = make_orc<Node>(kInf1);
         orc_ptr<Node*> s_left = make_orc<Node>(kInf0);
@@ -56,7 +59,11 @@ class NMTreeOrc {
     NMTreeOrc& operator=(const NMTreeOrc&) = delete;
     ~NMTreeOrc() = default;  // cascade from root_
 
+    /// The reclamation domain this structure lives in.
+    OrcDomain& domain() const noexcept { return *dom_; }
+
     bool insert(K key) {
+        ScopedDomain guard(*dom_);
         while (true) {
             SeekRecord sr = seek(key);
             if (sr.leaf->key == key) return false;
@@ -84,6 +91,7 @@ class NMTreeOrc {
     }
 
     bool remove(K key) {
+        ScopedDomain guard(*dom_);
         bool injecting = true;
         Node* leaf_raw = nullptr;
         while (true) {
@@ -110,7 +118,10 @@ class NMTreeOrc {
         }
     }
 
-    bool contains(K key) { return seek(key).leaf->key == key; }
+    bool contains(K key) {
+        ScopedDomain guard(*dom_);
+        return seek(key).leaf->key == key;
+    }
 
   private:
     struct SeekRecord {
@@ -175,6 +186,7 @@ class NMTreeOrc {
         return ancestor_field->cas(sr.successor.unmarked(), desired);
     }
 
+    OrcDomain* const dom_;
     orc_atomic<Node*> root_;
 };
 

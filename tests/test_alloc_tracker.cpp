@@ -10,10 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <new>
+#include <thread>
+#include <vector>
 
 #include "common/alloc_tracker.hpp"
+#include "common/thread_registry.hpp"
 
 #if defined(__SANITIZE_ADDRESS__)
 #define ORCGC_TEST_ASAN 1
@@ -24,6 +29,17 @@
 #endif
 #ifndef ORCGC_TEST_ASAN
 #define ORCGC_TEST_ASAN 0
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define ORCGC_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ORCGC_TEST_TSAN 1
+#endif
+#endif
+#ifndef ORCGC_TEST_TSAN
+#define ORCGC_TEST_TSAN 0
 #endif
 
 namespace orcgc {
@@ -91,6 +107,39 @@ TEST(AllocTrackerDeathTest, HeapDoubleDeleteDiesUnderASan) {
 TEST(AllocTrackerDeathTest, HeapDoubleDeleteDiesUnderASan) {
     GTEST_SKIP() << "heap double-delete canary requires an ASan build "
                     "(-DORCGC_SANITIZE=ON)";
+}
+#endif
+
+#if !ORCGC_TEST_TSAN
+TEST(ThreadRegistryDeathTest, ExhaustionIsAFatalDiagnostic) {
+    // Registering more than kMaxThreads concurrent threads is a programming
+    // error the registry cannot paper over (a dense id array backs every
+    // hazardous-pointer scan). It must die with an actionable message, not
+    // return a bogus id or corrupt a neighbor's slots. Forked child: the
+    // kMaxThreads+1-th registration calls fatal() while the others sit
+    // parked on the condition variable.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            std::mutex mu;
+            std::condition_variable cv;
+            bool release = false;
+            std::vector<std::thread> threads;
+            threads.reserve(kMaxThreads + 1);
+            for (int i = 0; i < kMaxThreads + 1; ++i) {
+                threads.emplace_back([&] {
+                    (void)thread_id();  // claim a dense id, hold it while parked
+                    std::unique_lock<std::mutex> lock(mu);
+                    cv.wait(lock, [&] { return release; });
+                });
+            }
+            for (auto& t : threads) t.join();  // unreachable: the last spawn aborts
+        },
+        "thread registry exhausted");
+}
+#else
+TEST(ThreadRegistryDeathTest, ExhaustionIsAFatalDiagnostic) {
+    GTEST_SKIP() << "death-test fork with 129 threads is not reliable under TSan";
 }
 #endif
 

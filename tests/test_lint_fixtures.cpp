@@ -1,6 +1,6 @@
 // Self-tests for the orc-lint static checker (tools/orc_lint/).
 //
-// Each rule R1–R5 must fire on its crafted bad fixture tree and stay silent
+// Each rule R1–R7 must fire on its crafted bad fixture tree and stay silent
 // on the good tree; the suppression grammar must reject a bare allow() and
 // honor a justified one. The last test is the enforcement gate itself: the
 // real src/ tree must lint clean. Fixture paths and the linter binary
@@ -89,6 +89,13 @@ TEST(OrcLintFixtures, R6FiresOnEngineHeapAllocation) {
     EXPECT_EQ(count_rule(r.output, "R6"), 2) << r.output;
 }
 
+TEST(OrcLintFixtures, R7FiresOnSingletonAccessOutsideCore) {
+    const LintResult r = run_lint(fixture("bad_r7"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The direct call and the aliased reference.
+    EXPECT_EQ(count_rule(r.output, "R7"), 2) << r.output;
+}
+
 TEST(OrcLintFixtures, BareSuppressionIsAnErrorAndDoesNotSuppress) {
     const LintResult r = run_lint(fixture("bad_suppression"));
     EXPECT_EQ(r.exit_code, 1) << r.output;
@@ -111,6 +118,17 @@ TEST(OrcLintFixtures, RepositoryTreeIsClean) {
     const LintResult r = run_lint(ORC_LINT_SRC_DIR);
     EXPECT_EQ(r.exit_code, 0) << r.output;
     EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(OrcLintFixtures, ClientTreesAreClean) {
+    // R7 applies to every tree outside src/core/: tests, benches, and
+    // examples must reach the engine through an OrcDomain, never the
+    // compatibility singleton.
+    for (const char* dir : {ORC_LINT_TESTS_DIR, ORC_LINT_BENCH_DIR, ORC_LINT_EXAMPLES_DIR}) {
+        const LintResult r = run_lint(dir);
+        EXPECT_EQ(r.exit_code, 0) << dir << ":\n" << r.output;
+        EXPECT_TRUE(r.output.empty()) << dir << ":\n" << r.output;
+    }
 }
 
 }  // namespace

@@ -71,14 +71,14 @@ TEST(OrcBacklog, ExcessCollapsesAtQuiescence) {
         std::int64_t in_set = 0;
         for (Key k = 0; k < kKeys; ++k) in_set += list.contains(k) ? 1 : 0;
         const auto live_now = counters.live_count() - live_before;
-        const auto parked = static_cast<std::int64_t>(OrcEngine::instance().handover_count());
+        const auto parked = static_cast<std::int64_t>(OrcDomain::global().handover_count());
         // live = set content + nodes parked at (now idle) worker slots.
         EXPECT_LE(live_now, in_set + parked + 1)
             << "peak excess during churn was " << peak_excess.load();
         // And the peak itself must be bounded: parked slots are capped by
         // t*maxHPs, everything else is O(t). Allow a generous linear margin.
         EXPECT_LT(peak_excess.load(),
-                  static_cast<std::int64_t>(thread_id_watermark()) * OrcEngine::kMaxHPs);
+                  static_cast<std::int64_t>(thread_id_watermark()) * OrcDomain::kMaxHPs);
     }
     EXPECT_EQ(counters.live_count(), live_before);  // full drain on destruction
 }

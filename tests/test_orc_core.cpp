@@ -231,7 +231,7 @@ TEST(OrcPtr, SelfAssignmentIsSafe) {
 }
 
 TEST(OrcPtr, AssignmentReleasesOldIndex) {
-    auto& engine = OrcEngine::instance();
+    auto& engine = OrcDomain::global();
     const int used_before = engine.used_idx_count();
     {
         orc_ptr<TestNode*> a = make_orc<TestNode>(1);
@@ -244,7 +244,7 @@ TEST(OrcPtr, AssignmentReleasesOldIndex) {
 }
 
 TEST(OrcPtr, NoIndexLeakOverManyLoads) {
-    auto& engine = OrcEngine::instance();
+    auto& engine = OrcDomain::global();
     orc_atomic<TestNode*> root;
     {
         orc_ptr<TestNode*> a = make_orc<TestNode>(1);

@@ -195,11 +195,11 @@ struct EngNode : orc_base, TrackedObject {
 TEST(OrcEngineEdge, DeepOrcPtrNestingStaysWithinIndexBudget) {
     // kMaxHPs-2 live orc_ptrs on one thread must be fine (1 scratch slot,
     // and each live orc_ptr owns one index).
-    orc_ptr<EngNode*> holders[OrcEngine::kMaxHPs - 2];
+    orc_ptr<EngNode*> holders[OrcDomain::kMaxHPs - 2];
     for (auto& h : holders) h = make_orc<EngNode>();
     for (auto& h : holders) EXPECT_TRUE(static_cast<bool>(h));
     // Copies share indices, so they are free.
-    orc_ptr<EngNode*> copies[OrcEngine::kMaxHPs - 2];
+    orc_ptr<EngNode*> copies[OrcDomain::kMaxHPs - 2];
     for (std::size_t i = 0; i < std::size(holders); ++i) copies[i] = holders[i];
     for (std::size_t i = 0; i < std::size(holders); ++i) {
         EXPECT_EQ(copies[i].index(), holders[i].index());

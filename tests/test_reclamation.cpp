@@ -244,10 +244,10 @@ TEST(EpochBased, StalledReaderBlocksReclamation) {
 // ---------------------------------------------------------- OrcGC engine
 
 TEST(OrcEngineIntrospection, HandoverCountIsBounded) {
-    auto& engine = OrcEngine::instance();
+    auto& engine = OrcDomain::global();
     // No structure in flight on this thread: nothing parked, scratch free.
     EXPECT_LE(engine.handover_count(),
-              static_cast<std::size_t>(thread_id_watermark()) * OrcEngine::kMaxHPs);
+              static_cast<std::size_t>(thread_id_watermark()) * OrcDomain::kMaxHPs);
     EXPECT_GE(engine.hp_watermark(), 1);
 }
 

@@ -37,7 +37,7 @@ struct WideNode : orc_base, TrackedObject {
 // at quiescence nothing may stay parked and nothing may leak.
 TEST(RetireChurn, ShortLivedThreadsLeaveNoParkedHandovers) {
     auto& counters = AllocCounters::instance();
-    auto& engine = OrcEngine::instance();
+    auto& engine = OrcDomain::global();
     const auto live_before = counters.live_count();
     const auto doubles_before = counters.double_destroys();
     {
@@ -110,7 +110,7 @@ TEST(RetireCascade, DeepChainDestroysEveryNodeExactlyOnce) {
 // destructor pushes all children at once (generation 2, batched snapshot
 // path when kChildren >= kSnapshotMin). Exactly-once destruction again.
 TEST(RetireCascade, WideFanoutDestroysEveryNodeExactlyOnce) {
-    static_assert(WideNode::kChildren >= static_cast<int>(OrcEngine::kSnapshotMin),
+    static_assert(WideNode::kChildren >= static_cast<int>(OrcDomain::kSnapshotMin),
                   "fanout must be wide enough to exercise the batched path");
     auto& counters = AllocCounters::instance();
     const auto live_before = counters.live_count();
@@ -133,7 +133,7 @@ TEST(RetireCascade, WideFanoutDestroysEveryNodeExactlyOnce) {
 // cascade must cost at most 2 full-HP-array snapshots (one per generation
 // large enough to batch; the size-1 root generation scans per object).
 TEST(RetireCascade, FanoutUsesAtMostTwoSnapshotsPerCascade) {
-    auto& engine = OrcEngine::instance();
+    auto& engine = OrcDomain::global();
     constexpr int kCascades = 64;
     engine.reset_stats();
     for (int r = 0; r < kCascades; ++r) {
@@ -144,7 +144,7 @@ TEST(RetireCascade, FanoutUsesAtMostTwoSnapshotsPerCascade) {
         }
         root = nullptr;
     }
-    const OrcEngine::RetireStats s = engine.stats();
+    const OrcDomain::RetireStats s = engine.stats();
     EXPECT_LE(s.snapshots, static_cast<std::uint64_t>(2 * kCascades));
     EXPECT_GT(s.batch_frees, 0u) << "fanout children should free via the snapshot path";
 }
@@ -159,7 +159,7 @@ TEST(RetireCascade, FanoutUsesAtMostTwoSnapshotsPerCascade) {
 // hence the <= floor+1 assertions below. hp_watermark() (the peak) stays
 // monotonic — it bounds handover draining, not scanning.
 TEST(Watermark, TightensWhenIndicesAreReleased) {
-    auto& engine = OrcEngine::instance();
+    auto& engine = OrcDomain::global();
     EXPECT_EQ(engine.used_idx_count(), 0) << "test requires a quiescent thread";
     EXPECT_LE(engine.hp_watermark_self(), 2);
     constexpr int kHeld = 24;
@@ -168,7 +168,7 @@ TEST(Watermark, TightensWhenIndicesAreReleased) {
         held.reserve(kHeld);
         for (int i = 0; i < kHeld; ++i) held.push_back(make_orc<Node>(i));
         EXPECT_GE(engine.hp_watermark_self(), kHeld + 1);
-        EXPECT_LE(engine.hp_watermark_self(), OrcEngine::kMaxHPs);
+        EXPECT_LE(engine.hp_watermark_self(), OrcDomain::kMaxHPs);
         EXPECT_GE(engine.hp_watermark(), engine.hp_watermark_self());
         // Releasing from the middle must not lower the bound below a still
         // claimed higher index.
@@ -185,7 +185,7 @@ TEST(Watermark, TightensWhenIndicesAreReleased) {
 // the engine-wide invariant tests above; here we just pin the introspection
 // unification: both counters use the same per-thread bounds.
 TEST(Watermark, IntrospectionAgreesOnBounds) {
-    auto& engine = OrcEngine::instance();
+    auto& engine = OrcDomain::global();
     {
         orc_ptr<Node*> a = make_orc<Node>(1);
         orc_ptr<Node*> b = make_orc<Node>(2);

@@ -1,0 +1,19 @@
+// R7 fixture: direct singleton access outside src/core/.
+//
+// Client code (data structures, tests, benches) must route through a bound
+// OrcDomain — grabbing the compatibility façade pins the operation to the
+// global domain no matter which domain the structure was constructed in.
+#pragma once
+
+namespace orcgc {
+
+inline void singleton_retire(orc_base* node) {
+    OrcEngine::instance().retire(node);  // must fire R7
+}
+
+inline int singleton_alias() {
+    auto& engine = OrcEngine::instance();  // must fire R7 too
+    return engine.handover_count(0);
+}
+
+}  // namespace orcgc

@@ -27,6 +27,11 @@
 //       than make_orc.hpp — retire() runs on every reclamation and must be
 //       allocation-free; scratch state lives in grown-once thread-local
 //       buffers. `delete` stays legal: it IS the reclamation free.
+//   R7  outside src/core/, no direct OrcEngine::instance() — the singleton
+//       is a compatibility façade over OrcDomain::global(); client code that
+//       grabs it bypasses the domain a structure is bound to and silently
+//       pins everything to the global domain. Bind an OrcDomain (or use
+//       OrcDomain::global() explicitly when the global domain is meant).
 //
 // Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
 // line (or put it alone on the line above). Multiple rules:
@@ -72,6 +77,7 @@ struct RuleSet {
     bool r4 = true;
     bool r5 = false;  // ds/orc/ only
     bool r6 = false;  // core/ engine files (minus make_orc.hpp)
+    bool r7 = false;  // everywhere except core/ (the façade's own home)
 };
 
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
@@ -234,6 +240,7 @@ class FileLinter {
         if (rules_.r4) check_r4();
         if (rules_.r5) check_r5();
         if (rules_.r6) check_r6();
+        if (rules_.r7) check_r7();
     }
 
   private:
@@ -386,6 +393,24 @@ class FileLinter {
                     }
                 }
             });
+        }
+    }
+
+    // ---- R7: no singleton access outside the core façade ------------------
+
+    void check_r7() {
+        static const char kNeedle[] = "OrcEngine::instance";
+        std::size_t pos = 0;
+        while ((pos = clean_.find(kNeedle, pos)) != std::string::npos) {
+            const std::size_t call = pos;
+            pos += sizeof(kNeedle) - 1;
+            if (call > 0 && (is_ident_char(clean_[call - 1]) || clean_[call - 1] == ':')) {
+                continue;  // qualified differently or part of a longer name
+            }
+            emit("R7", line_of(call),
+                 "direct OrcEngine::instance() outside src/core/ — bind an OrcDomain "
+                 "(OrcDomain::global() when the default domain is meant) instead of "
+                 "the compatibility singleton");
         }
     }
 
@@ -659,15 +684,28 @@ class FileLinter {
 
 RuleSet rules_for_path(const std::string& generic_path) {
     RuleSet r;
-    r.r1 = generic_path.find("/core/") != std::string::npos ||
-           generic_path.find("/reclamation/") != std::string::npos;
+    const bool core = generic_path.find("/core/") != std::string::npos;
+    r.r1 = core || generic_path.find("/reclamation/") != std::string::npos;
     const bool ds_orc = generic_path.find("/ds/orc/") != std::string::npos;
     r.r2 = ds_orc;
     r.r5 = ds_orc;
     // make_orc.hpp is the engine's single sanctioned allocation site; every
     // other core file is on a retire/protect hot path.
-    r.r6 = generic_path.find("/core/") != std::string::npos &&
-           generic_path.find("/make_orc.hpp") == std::string::npos;
+    r.r6 = core && generic_path.find("/make_orc.hpp") == std::string::npos;
+    // The façade itself (and the domain it forwards to) lives in core; every
+    // other tree — library, tests, benches, examples — must go through a
+    // domain.
+    r.r7 = !core;
+    // Client trees (tests/benches/examples) legitimately poke at marked
+    // pointers and declare unpadded scratch arrays when exercising the
+    // library; the memory-layout rules are library-discipline only.
+    const bool client = generic_path.find("/tests/") != std::string::npos ||
+                        generic_path.find("/bench/") != std::string::npos ||
+                        generic_path.find("/examples/") != std::string::npos;
+    if (client) {
+        r.r3 = false;
+        r.r4 = false;
+    }
     return r;
 }
 
@@ -691,7 +729,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: orc_lint [--root DIR]... [FILE]...\n"
-                         "Lints OrcGC reclamation discipline (rules R1-R5).\n");
+                         "Lints OrcGC reclamation discipline (rules R1-R7).\n");
             return 0;
         } else {
             inputs.emplace_back(argv[i]);

@@ -22,16 +22,23 @@
 // its interference must come from published hp slots, not from stealing CPU,
 // or the solo/noisy comparison measures the scheduler instead of the engine.
 //
-// Under ORCGC_STATS a quiescent single-threaded section runs FIRST (before
-// any worker thread registers, keeping the thread watermark minimal) and
-// gates deterministically on slots scanned per node retired in the quiet
-// domain: noisy must stay within 1.25x of solo, and shared must visibly pay
-// for the parked slots — otherwise the bench has lost its power and the
-// process exits non-zero. JSON mirroring: --json <path> or ORC_BENCH_JSON.
+// A quiescent single-threaded section runs FIRST (before any worker thread
+// registers, keeping the thread watermark minimal) and gates
+// deterministically on slots scanned per node retired in the quiet domain,
+// as counted by the always-on per-domain telemetry: noisy must stay within
+// 1.25x of solo, and shared must visibly pay for the parked slots —
+// otherwise the bench has lost its power and the process exits non-zero.
+// The gate is skipped in -DORCGC_TELEMETRY=OFF overhead-measurement builds
+// (compiled out) and under ORC_BENCH_SKIP_GATE=1: an A/B overhead run
+// (tools/telemetry_overhead.py) must put the timed series behind the same
+// preamble on both sides, and the gate's cascades and hoards would otherwise
+// hand the telemetry-on binary a different allocator state than the
+// telemetry-off one. JSON mirroring: --json <path> or ORC_BENCH_JSON.
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -136,7 +143,6 @@ void run_series(const char* mix, const BenchConfig& cfg, const Body& body) {
     }
 }
 
-#ifdef ORCGC_HAS_RETIRE_STATS
 /// Slots scanned per node retired for kCascades quiet cascades in `dom`, as
 /// counted by dom's own stats — the deterministic proxy for the retire-path
 /// tax the timed section measures in wall-clock.
@@ -216,7 +222,6 @@ bool isolation_gate() {
     }
     return ok;
 }
-#endif  // ORCGC_HAS_RETIRE_STATS
 
 }  // namespace
 }  // namespace orcgc
@@ -227,9 +232,10 @@ int main(int argc, char** argv) {
     const BenchConfig cfg = BenchConfig::from_env();
 
     bool ok = true;
-#ifdef ORCGC_HAS_RETIRE_STATS
-    ok = isolation_gate();
-#endif
+    const char* skip_gate = std::getenv("ORC_BENCH_SKIP_GATE");
+    if (telemetry::kTelemetryEnabled && !(skip_gate != nullptr && skip_gate[0] == '1')) {
+        ok = isolation_gate();
+    }
 
     run_series("solo", cfg, private_domain_body());
     {

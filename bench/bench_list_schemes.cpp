@@ -5,7 +5,10 @@
 // prints absolute ops/s and the same normalization.
 //
 // Environment knobs: ORC_BENCH_MS, ORC_BENCH_RUNS, ORC_BENCH_THREADS,
-// ORC_BENCH_KEYS (default 1000, the paper's value).
+// ORC_BENCH_KEYS (default 1000, the paper's value). With --json <path> the
+// flushed artifact carries a "telemetry" object holding the shared counter
+// set (retired / freed / peak_unreclaimed / scans) for every scheme that ran,
+// OrcGC and all manual baselines alike — one registry, one schema.
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -50,8 +53,9 @@ void run_series(const char* name, const BenchConfig& cfg, std::uint64_t keys,
 }  // namespace
 }  // namespace orcgc
 
-int main() {
+int main(int argc, char** argv) {
     using namespace orcgc;
+    bench_json_init(argc, argv);
     const BenchConfig cfg = BenchConfig::from_env();
     const std::uint64_t keys = cfg.keys ? cfg.keys : 1000;
     std::printf("# Michael-Harris lock-free list, %llu keys (paper Figs. 3-4)\n",
@@ -65,5 +69,6 @@ int main() {
     run_series<MichaelList<Key, IntervalBasedReclaimer>>("IBR", cfg, keys, false);
     run_series<MichaelList<Key, PassThePointer>>("PTP", cfg, keys, false);
     run_series<MichaelListOrc<Key>>("OrcGC", cfg, keys, false);
+    BenchJsonRecorder::instance().flush();
     return 0;
 }

@@ -27,10 +27,12 @@
 // All `bare` rows run before any `hoard48` row on purpose: a global-watermark
 // engine can never lower its scan bound again once the hoarder has raised it.
 //
-// Under ORCGC_STATS (see README) a quiescent instrumented section reports
-// scans, snapshots and slots scanned per shape, and fails the process if the
-// fanout cascade needs more than 2 full-HP-array snapshots — the regression
-// gate for the batched retire path.
+// A quiescent instrumented section reports scans, snapshots and slots
+// scanned per shape (the counters are always on — OrcDomain::metrics()), and
+// fails the process if the fanout cascade needs more than 2 full-HP-array
+// snapshots — the regression gate for the batched retire path. The section
+// is skipped only in -DORCGC_TELEMETRY=OFF overhead-measurement builds,
+// where every counter reads zero.
 //
 // Ops are counted in *nodes retired* (not cascades), so rows are comparable
 // across shapes. JSON mirroring: --json <path> or ORC_BENCH_JSON.
@@ -122,7 +124,6 @@ void run_all_shapes(const char* mix, const BenchConfig& cfg) {
     });
 }
 
-#ifdef ORCGC_HAS_RETIRE_STATS
 /// Quiescent, single-threaded instrumented pass: per cascade shape, report
 /// how many hp-array scans/snapshots the engine performed and how many slots
 /// it touched. Returns false if the fanout cascade exceeded the 2-snapshot
@@ -171,7 +172,6 @@ bool report_stats() {
     }
     return ok;
 }
-#endif  // ORCGC_HAS_RETIRE_STATS
 
 }  // namespace
 }  // namespace orcgc
@@ -193,9 +193,7 @@ int main(int argc, char** argv) {
     }
 
     bool ok = true;
-#ifdef ORCGC_HAS_RETIRE_STATS
-    ok = report_stats();
-#endif
+    if (telemetry::kTelemetryEnabled) ok = report_stats();
     BenchJsonRecorder::instance().flush();
     return ok ? 0 : 1;
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/barrier.hpp"
+#include "common/telemetry.hpp"
 
 namespace orcgc {
 
@@ -112,7 +113,12 @@ inline RunStats timed_run(int threads, int run_ms, int runs,
 //   { "schema": "orcgc-bench-v1",
 //     "rows": [ { "bench": ..., "series": ..., "mix": ..., "threads": N,
 //                 "mean_ops_per_sec": X, "stddev": Y, "normalized": Z|null },
-//               ... ] }
+//               ... ],
+//     "telemetry": { "schema": "orcgc-telemetry-v1", "sources": [...] } }
+//
+// The "telemetry" key is the full reclamation-telemetry export (counters,
+// gauges, histograms for every live domain and manual scheme) captured at
+// flush time — see src/common/telemetry.hpp.
 //
 // Rows are recorded from the main thread only (the harness prints between
 // timed runs, never inside worker bodies), so no locking is needed.
@@ -127,6 +133,10 @@ class BenchJsonRecorder {
     void enable(std::string path) { path_ = std::move(path); }
     bool enabled() const { return !path_.empty(); }
 
+    /// Mirror the telemetry registry as Prometheus text exposition at flush
+    /// time (independent of the JSON mirror).
+    void enable_prometheus(std::string path) { prom_path_ = std::move(path); }
+
     void record(const char* bench, const char* series, const char* mix, int threads,
                 const RunStats& stats, double normalized) {
         if (!enabled()) return;
@@ -134,11 +144,24 @@ class BenchJsonRecorder {
                             normalized});
     }
 
-    /// Writes the collected rows. Called from the destructor, but exposed so
-    /// benches that abort early (perf-gate failures) can flush first.
+    /// Writes the collected rows plus the telemetry snapshot. Called from the
+    /// destructor, but exposed so benches that abort early (perf-gate
+    /// failures) can flush first.
     void flush() {
-        if (!enabled() || flushed_) return;
+        if (flushed_) return;
         flushed_ = true;
+        if (!prom_path_.empty()) {
+            std::FILE* prom = std::fopen(prom_path_.c_str(), "w");
+            if (prom != nullptr) {
+                const std::string text = telemetry::export_prometheus();
+                std::fwrite(text.data(), 1, text.size(), prom);
+                std::fclose(prom);
+            } else {
+                std::fprintf(stderr, "bench: cannot write Prometheus text to %s\n",
+                             prom_path_.c_str());
+            }
+        }
+        if (!enabled()) return;
         std::FILE* out = std::fopen(path_.c_str(), "w");
         if (out == nullptr) {
             std::fprintf(stderr, "bench: cannot write JSON to %s\n", path_.c_str());
@@ -159,7 +182,7 @@ class BenchJsonRecorder {
             }
             std::fprintf(out, i + 1 < rows_.size() ? ",\n" : "\n");
         }
-        std::fprintf(out, "  ]\n}\n");
+        std::fprintf(out, "  ],\n  \"telemetry\": %s\n}\n", telemetry::export_json().c_str());
         std::fclose(out);
     }
 
@@ -177,17 +200,22 @@ class BenchJsonRecorder {
     }
 
     std::string path_;
+    std::string prom_path_;
     std::vector<Row> rows_;
     bool flushed_ = false;
 };
 
-/// Parses harness-level CLI flags (currently `--json <path>`). Benches that
-/// take argv call this at the top of main; env-only use needs no call at all
-/// because the recorder reads ORC_BENCH_JSON on first touch.
+/// Parses harness-level CLI flags: `--json <path>` (row + telemetry JSON
+/// mirror) and `--prom <path>` (Prometheus text exposition of the telemetry
+/// registry). Benches that take argv call this at the top of main; env-only
+/// use needs no call at all because the recorder reads ORC_BENCH_JSON on
+/// first touch.
 inline void bench_json_init(int argc, char** argv) {
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::string_view(argv[i]) == "--json") {
             BenchJsonRecorder::instance().enable(argv[i + 1]);
+        } else if (std::string_view(argv[i]) == "--prom") {
+            BenchJsonRecorder::instance().enable_prometheus(argv[i + 1]);
         }
     }
 }

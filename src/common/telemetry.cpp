@@ -1,0 +1,375 @@
+// Telemetry registry and exporters (see telemetry.hpp for the model).
+//
+// The registry keeps two collections keyed by source name:
+//   * live providers — polled on every export;
+//   * accumulated dumps — the final state of providers that unregistered
+//     (a destroyed OrcDomain, a scheme instance that died with its data
+//     structure). Counters and histograms add, gauges and peaks take the
+//     max, so the exit export reflects the whole process, not just the
+//     sources that happen to still be alive.
+//
+// Everything here is cold-path: registration happens at domain/structure
+// construction, export at process exit or on explicit request. One mutex
+// suffices.
+
+#include "common/telemetry.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace orcgc {
+namespace telemetry {
+namespace {
+
+/// Everything one provider exposes, captured through the MetricSink
+/// interface so live polls and final folds share one code path.
+struct SourceDump {
+    CommonCounters common;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::uint64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    void merge(const SourceDump& other) {
+        common.merge(other.common);
+        for (const auto& [k, v] : other.counters) counters[k] += v;
+        for (const auto& [k, v] : other.gauges) {
+            auto [it, inserted] = gauges.emplace(k, v);
+            if (!inserted && v > it->second) it->second = v;
+        }
+        for (const auto& [k, v] : other.histograms) histograms[k].merge(v);
+    }
+};
+
+class CaptureSink final : public MetricSink {
+  public:
+    explicit CaptureSink(SourceDump& dump) : dump_(dump) {}
+    void counter(const char* name, std::uint64_t value) override {
+        dump_.counters[name] += value;
+    }
+    void gauge(const char* name, std::uint64_t value) override {
+        auto [it, inserted] = dump_.gauges.emplace(name, value);
+        if (!inserted && value > it->second) it->second = value;
+    }
+    void histogram(const char* name, const HistogramSnapshot& h) override {
+        dump_.histograms[name].merge(h);
+    }
+
+  private:
+    SourceDump& dump_;
+};
+
+SourceDump capture(const MetricProvider& provider) {
+    SourceDump dump;
+    dump.common = provider.common_counters();
+    CaptureSink sink(dump);
+    provider.visit_extras(sink);
+    return dump;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+    for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+/// Prometheus label/metric names allow [a-zA-Z0-9_:]; everything else
+/// becomes '_'.
+std::string prom_sanitize(const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        if (!ok) c = '_';
+    }
+    return out;
+}
+
+class Registry {
+  public:
+    static Registry& instance() {
+        // Function-local static: constructed before the first provider
+        // registers, destroyed after the last one unregisters (the same
+        // ordering argument DomainRegistry relies on).
+        static Registry registry;
+        return registry;
+    }
+
+    void add(MetricProvider* provider) {
+        std::lock_guard<std::mutex> lock(mu_);
+        live_.push_back(provider);
+        maybe_start_dumper_locked();
+    }
+
+    void remove(MetricProvider* provider) {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto it = live_.begin(); it != live_.end(); ++it) {
+            if (*it == provider) {
+                accumulated_[provider->telemetry_name()].merge(capture(**it));
+                // The registry outlives every provider (function-local
+                // static, constructed before the first add()), so by
+                // ~Registry the live_ list is empty — trace rings must be
+                // folded here or the exit dump loses them.
+                if (!trace_path_.empty()) fold_trace_locked(*provider);
+                live_.erase(it);
+                break;
+            }
+        }
+    }
+
+    bool trace_requested() const noexcept { return trace_requested_; }
+
+    std::string json() {
+        std::lock_guard<std::mutex> lock(mu_);
+        return render_json(snapshot_locked());
+    }
+
+    std::string prometheus() {
+        std::lock_guard<std::mutex> lock(mu_);
+        return render_prometheus(snapshot_locked());
+    }
+
+    ~Registry() {
+        stop_dumper();
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto merged = snapshot_locked();
+        if (!json_path_.empty()) write_text(json_path_, render_json(merged));
+        if (!prom_path_.empty()) write_text(prom_path_, render_prometheus(merged));
+        if (!trace_path_.empty()) {
+            for (MetricProvider* p : live_) fold_trace_locked(*p);
+            std::FILE* out = std::fopen(trace_path_.c_str(), "w");
+            if (out != nullptr) {
+                std::fwrite(trace_text_.data(), 1, trace_text_.size(), out);
+                std::fclose(out);
+            } else {
+                std::fprintf(stderr, "orcgc: cannot write trace dump to %s\n",
+                             trace_path_.c_str());
+            }
+        }
+    }
+
+  private:
+    Registry() {
+        if (const char* v = std::getenv("ORC_TRACE")) {
+            trace_requested_ = v[0] != '\0' && std::strcmp(v, "0") != 0;
+        }
+        if (const char* v = std::getenv("ORC_TRACE_DUMP")) trace_path_ = v;
+        if (const char* v = std::getenv("ORC_TELEMETRY_JSON")) json_path_ = v;
+        if (const char* v = std::getenv("ORC_TELEMETRY_PROM")) prom_path_ = v;
+        if (const char* v = std::getenv("ORC_TELEMETRY_DUMP_MS")) {
+            dump_ms_ = std::atoi(v);
+        }
+    }
+
+    /// Append one provider's trace rings (JSONL) to the accumulated trace
+    /// text. dump_trace writes to a FILE*, so buffer it through a memstream.
+    void fold_trace_locked(const MetricProvider& provider) {
+        char* buf = nullptr;
+        std::size_t len = 0;
+        std::FILE* mem = open_memstream(&buf, &len);
+        if (mem == nullptr) return;
+        provider.dump_trace(mem);
+        std::fclose(mem);
+        trace_text_.append(buf, len);
+        std::free(buf);
+    }
+
+    /// Live providers folded over the accumulated totals, by name.
+    std::map<std::string, SourceDump> snapshot_locked() {
+        std::map<std::string, SourceDump> merged = accumulated_;
+        for (MetricProvider* p : live_) merged[p->telemetry_name()].merge(capture(*p));
+        return merged;
+    }
+
+    static std::string render_json(const std::map<std::string, SourceDump>& sources) {
+        std::string out = "{\"schema\": \"orcgc-telemetry-v1\", \"sources\": [";
+        bool first_source = true;
+        for (const auto& [name, dump] : sources) {
+            if (!first_source) out += ", ";
+            first_source = false;
+            out += "{\"name\": \"";
+            append_json_escaped(out, name);
+            out += "\", \"common\": {\"retired\": ";
+            append_u64(out, dump.common.retired);
+            out += ", \"freed\": ";
+            append_u64(out, dump.common.freed);
+            out += ", \"peak_unreclaimed\": ";
+            append_u64(out, dump.common.peak_unreclaimed);
+            out += ", \"scans\": ";
+            append_u64(out, dump.common.scans);
+            out += "}";
+            if (!dump.counters.empty()) {
+                out += ", \"counters\": {";
+                bool first = true;
+                for (const auto& [k, v] : dump.counters) {
+                    if (!first) out += ", ";
+                    first = false;
+                    out += "\"";
+                    append_json_escaped(out, k);
+                    out += "\": ";
+                    append_u64(out, v);
+                }
+                out += "}";
+            }
+            if (!dump.gauges.empty()) {
+                out += ", \"gauges\": {";
+                bool first = true;
+                for (const auto& [k, v] : dump.gauges) {
+                    if (!first) out += ", ";
+                    first = false;
+                    out += "\"";
+                    append_json_escaped(out, k);
+                    out += "\": ";
+                    append_u64(out, v);
+                }
+                out += "}";
+            }
+            if (!dump.histograms.empty()) {
+                out += ", \"histograms\": {";
+                bool first_hist = true;
+                for (const auto& [k, h] : dump.histograms) {
+                    if (!first_hist) out += ", ";
+                    first_hist = false;
+                    out += "\"";
+                    append_json_escaped(out, k);
+                    out += "\": {\"count\": ";
+                    append_u64(out, h.count());
+                    out += ", \"buckets\": [";
+                    bool first_bucket = true;
+                    for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+                        if (h.buckets[b] == 0) continue;
+                        if (!first_bucket) out += ", ";
+                        first_bucket = false;
+                        out += "{\"lower\": ";
+                        append_u64(out, LogHistogram::bucket_lower(b));
+                        out += ", \"upper\": ";
+                        append_u64(out, LogHistogram::bucket_upper(b));
+                        out += ", \"count\": ";
+                        append_u64(out, h.buckets[b]);
+                        out += "}";
+                    }
+                    out += "]}";
+                }
+                out += "}";
+            }
+            out += "}";
+        }
+        out += "]}";
+        return out;
+    }
+
+    static std::string render_prometheus(const std::map<std::string, SourceDump>& sources) {
+        std::string out;
+        auto emit = [&out](const char* type, const std::string& metric,
+                           const std::string& source, const char* suffix,
+                           const std::string& extra_label, std::uint64_t value) {
+            if (type != nullptr) {
+                out += "# TYPE " + metric + " " + type + "\n";
+            }
+            out += metric + suffix + "{source=\"" + source + "\"" + extra_label + "} ";
+            append_u64(out, value);
+            out += "\n";
+        };
+        for (const auto& [name, dump] : sources) {
+            const std::string src = prom_sanitize(name);
+            emit("counter", "orcgc_retired_total", src, "", "", dump.common.retired);
+            emit("counter", "orcgc_freed_total", src, "", "", dump.common.freed);
+            emit("gauge", "orcgc_peak_unreclaimed", src, "", "",
+                 dump.common.peak_unreclaimed);
+            emit("counter", "orcgc_scans_total", src, "", "", dump.common.scans);
+            for (const auto& [k, v] : dump.counters) {
+                emit("counter", "orcgc_" + prom_sanitize(k) + "_total", src, "", "", v);
+            }
+            for (const auto& [k, v] : dump.gauges) {
+                emit("gauge", "orcgc_" + prom_sanitize(k), src, "", "", v);
+            }
+            for (const auto& [k, h] : dump.histograms) {
+                const std::string metric = "orcgc_" + prom_sanitize(k);
+                out += "# TYPE " + metric + " histogram\n";
+                std::uint64_t cumulative = 0;
+                for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+                    if (h.buckets[b] == 0) continue;
+                    cumulative += h.buckets[b];
+                    char le[32];
+                    std::snprintf(le, sizeof(le), ",le=\"%llu\"",
+                                  static_cast<unsigned long long>(
+                                      LogHistogram::bucket_upper(b)));
+                    emit(nullptr, metric, src, "_bucket", le, cumulative);
+                }
+                emit(nullptr, metric, src, "_bucket", ",le=\"+Inf\"", cumulative);
+                emit(nullptr, metric, src, "_count", "", cumulative);
+            }
+        }
+        return out;
+    }
+
+    static void write_text(const std::string& path, const std::string& text) {
+        std::FILE* out = std::fopen(path.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "orcgc: cannot write telemetry to %s\n", path.c_str());
+            return;
+        }
+        std::fwrite(text.data(), 1, text.size(), out);
+        std::fclose(out);
+    }
+
+    /// ORC_TELEMETRY_DUMP_MS: rewrite the requested dump files periodically
+    /// so viewers (orc_top --watch) can follow a running process. The thread
+    /// never registers a dense thread id (it only takes the mutex and reads
+    /// relaxed atomics), so it does not consume a kMaxThreads slot.
+    void maybe_start_dumper_locked() {
+        if (dump_ms_ <= 0 || dumper_.joinable()) return;
+        if (json_path_.empty() && prom_path_.empty()) return;
+        dumper_ = std::thread([this] {
+            while (!dumper_stop_.load(std::memory_order_acquire)) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(dump_ms_));
+                std::lock_guard<std::mutex> lock(mu_);
+                const auto merged = snapshot_locked();
+                if (!json_path_.empty()) write_text(json_path_, render_json(merged));
+                if (!prom_path_.empty()) write_text(prom_path_, render_prometheus(merged));
+            }
+        });
+    }
+
+    void stop_dumper() {
+        dumper_stop_.store(true, std::memory_order_release);
+        if (dumper_.joinable()) dumper_.join();
+    }
+
+    std::mutex mu_;
+    std::vector<MetricProvider*> live_;
+    std::map<std::string, SourceDump> accumulated_;
+    bool trace_requested_ = false;
+    std::string trace_path_;
+    /// Trace JSONL from unregistered providers, written at exit.
+    std::string trace_text_;
+    std::string json_path_;
+    std::string prom_path_;
+    int dump_ms_ = 0;
+    std::thread dumper_;
+    std::atomic<bool> dumper_stop_{false};
+};
+
+}  // namespace
+
+void register_provider(MetricProvider* provider) { Registry::instance().add(provider); }
+
+void unregister_provider(MetricProvider* provider) { Registry::instance().remove(provider); }
+
+bool trace_requested() { return Registry::instance().trace_requested(); }
+
+std::string export_json() { return Registry::instance().json(); }
+
+std::string export_prometheus() { return Registry::instance().prometheus(); }
+
+}  // namespace telemetry
+}  // namespace orcgc

@@ -64,20 +64,14 @@
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
 #include "core/orc_base.hpp"
+#include "core/orc_metrics.hpp"
 
-// Advertised to benches/tests: compiled with -DORCGC_STATS=1 every domain
-// exposes OrcDomain::RetireStats / stats() / reset_stats(). Consumers guard
-// on ORCGC_HAS_RETIRE_STATS (not ORCGC_STATS) so they also compile against
-// engine revisions that predate the counters.
-#ifdef ORCGC_STATS
+// Retire-path statistics are ALWAYS compiled in now: they live in the
+// per-domain OrcMetrics (orc_metrics.hpp), whose hooks are relaxed RMWs on
+// per-thread padded lines. This macro is a thin compatibility alias for one
+// release — the old consumers guarded on it because stats() only existed
+// under -DORCGC_STATS; new code should just call domain->metrics().
 #define ORCGC_HAS_RETIRE_STATS 1
-// Owner-thread relaxed increment; stats() sums across threads.
-#define ORC_RETIRE_STAT(t, field, n) ((t).field.fetch_add((n), std::memory_order_relaxed))
-#else
-// Evaluates nothing but still "reads" n so counting variables in the
-// instrumentation paths do not trip -Wunused-but-set-variable.
-#define ORC_RETIRE_STAT(t, field, n) ((void)(n))
-#endif
 
 namespace orcgc {
 
@@ -213,6 +207,7 @@ class OrcDomain {
                                                   std::memory_order_seq_cst)) {
                 // We own the retire token: nobody else can free obj now, so
                 // it is safe to unpublish before scanning.
+                metrics_.on_retire_token(obj);
                 unpublish_and_drain(t, idx);
                 retire(obj);
                 t.free_stack[++t.free_top] = idx;  // recycle only after the clear
@@ -284,6 +279,7 @@ class OrcDomain {
         std::uint64_t expected = lorc;
         if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
                                               std::memory_order_seq_cst)) {
+            metrics_.on_retire_token(obj);
             retire(obj);
         }
     }
@@ -300,6 +296,7 @@ class OrcDomain {
             std::uint64_t expected = lorc;
             if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
                                                   std::memory_order_seq_cst)) {
+                metrics_.on_retire_token(obj);
                 scratch_release();
                 retire(obj);
                 return;
@@ -328,25 +325,44 @@ class OrcDomain {
             return;
         }
         t.retire_started = true;
+        // One thread-block lookup covers every hook the cascade fires.
+        OrcMetrics::Hot mh = metrics_.hot();
+        mh.on_cascade_begin();
         t.recursive_list.push_back(ptr);
         std::size_t begin = 0;
+        std::uint32_t gen = 0;
         while (begin < t.recursive_list.size()) {
+            mh.set_generation(gen++);
             const std::size_t end = t.recursive_list.size();
             if (end - begin >= kSnapshotMin) {
-                retire_generation_batched(t, begin, end);
+                retire_generation_batched(mh, t, begin, end);
             } else {
-                for (std::size_t i = begin; i < end; ++i) retire_one(t.recursive_list[i]);
+                for (std::size_t i = begin; i < end; ++i) {
+                    retire_one(mh, t.recursive_list[i]);
+                }
             }
             begin = end;
         }
         t.recursive_list.clear();
         t.retire_started = false;
+        mh.on_cascade_end();
     }
 
-#ifdef ORCGC_STATS
-    /// Retire-path instrumentation (ORCGC_STATS builds only; see README).
-    /// Counters are per-domain: a noisy neighbor's scans never show up in
-    /// another domain's stats (bench_domains gates on this).
+    // ---- telemetry ---------------------------------------------------------
+
+    /// This domain's metrics provider (always on; see orc_metrics.hpp).
+    OrcMetrics& metrics() noexcept { return metrics_; }
+    const OrcMetrics& metrics() const noexcept { return metrics_; }
+
+    /// Convenience forwarder for the event-trace flag (also settable
+    /// process-wide for new domains via ORC_TRACE=1).
+    void set_tracing(bool on) { metrics_.set_tracing(on); }
+
+    /// Retire-path statistics, kept as the stable names the benches and
+    /// tests grew up with; since the telemetry migration this is a view over
+    /// OrcMetrics::snapshot(). Counters are per-domain: a noisy neighbor's
+    /// scans never show up in another domain's stats (bench_domains gates on
+    /// this).
     struct RetireStats {
         std::uint64_t scans = 0;          ///< per-object try_handover passes
         std::uint64_t snapshots = 0;      ///< full-HP-array snapshots taken
@@ -356,35 +372,19 @@ class OrcDomain {
         std::uint64_t handovers = 0;      ///< objects parked on another thread's hp
     };
 
-    /// Sums this domain's per-thread counters over every registered tid.
     RetireStats stats() const noexcept {
+        const OrcMetrics::Snapshot m = metrics_.snapshot();
         RetireStats s;
-        const int wm = thread_id_watermark();
-        for (int it = 0; it < wm; ++it) {
-            const auto& t = tl_[it];
-            s.scans += t.stat_scans.load(std::memory_order_relaxed);
-            s.snapshots += t.stat_snapshots.load(std::memory_order_relaxed);
-            s.slots_scanned += t.stat_slots_scanned.load(std::memory_order_relaxed);
-            s.batch_frees += t.stat_batch_frees.load(std::memory_order_relaxed);
-            s.slow_frees += t.stat_slow_frees.load(std::memory_order_relaxed);
-            s.handovers += t.stat_handovers.load(std::memory_order_relaxed);
-        }
+        s.scans = m.scans;
+        s.snapshots = m.snapshots;
+        s.slots_scanned = m.slots_scanned;
+        s.batch_frees = m.freed_batch;
+        s.slow_frees = m.freed_slow;
+        s.handovers = m.handovers;
         return s;
     }
 
-    void reset_stats() noexcept {
-        const int wm = thread_id_watermark();
-        for (int it = 0; it < wm; ++it) {
-            auto& t = tl_[it];
-            t.stat_scans.store(0, std::memory_order_relaxed);
-            t.stat_snapshots.store(0, std::memory_order_relaxed);
-            t.stat_slots_scanned.store(0, std::memory_order_relaxed);
-            t.stat_batch_frees.store(0, std::memory_order_relaxed);
-            t.stat_slow_frees.store(0, std::memory_order_relaxed);
-            t.stat_handovers.store(0, std::memory_order_relaxed);
-        }
-    }
-#endif  // ORCGC_STATS
+    void reset_stats() noexcept { metrics_.reset(); }
 
     // ---- introspection (tests / memory-bound benches) ----------------------
 
@@ -498,14 +498,6 @@ class OrcDomain {
         std::vector<orc_base*> recursive_list;  // pending cascade generations
         std::vector<orc_base*> snapshot;        // sorted hp snapshot
         std::vector<std::uint64_t> gen_lorc;    // pre-read _orc per gen object
-#ifdef ORCGC_STATS
-        std::atomic<std::uint64_t> stat_scans{0};
-        std::atomic<std::uint64_t> stat_snapshots{0};
-        std::atomic<std::uint64_t> stat_slots_scanned{0};
-        std::atomic<std::uint64_t> stat_batch_frees{0};
-        std::atomic<std::uint64_t> stat_slow_frees{0};
-        std::atomic<std::uint64_t> stat_handovers{0};
-#endif
     };
 
     explicit OrcDomain(bool is_global);  // defined below (needs DomainRegistry)
@@ -524,6 +516,7 @@ class OrcDomain {
             tsan_release_protection(t.hp[idx]);
             t.hp[idx].store(nullptr, std::memory_order_seq_cst);
             if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
+                metrics_.on_drain(h);
                 retire(h);
             }
         }
@@ -569,6 +562,7 @@ class OrcDomain {
             if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
                 // The parked object carries its retire token; continue the
                 // protocol on its behalf.
+                metrics_.on_drain(h);
                 retire(h);
             }
         }
@@ -577,7 +571,8 @@ class OrcDomain {
     /// The per-object protocol of Algorithm 6 for one retired object (token
     /// held by the caller): resurrection check, hp scan with handover, Lemma 1
     /// sequence revalidation, delete.
-    void retire_one(orc_base* ptr) {
+    void retire_one(OrcMetrics::Hot& mh, orc_base* ptr) {
+        std::uint32_t chain = 0;
         while (ptr != nullptr) {
             std::uint64_t lorc = ptr->_orc.load(std::memory_order_seq_cst);
             if (!orc::is_zero_retired(lorc)) {
@@ -585,17 +580,27 @@ class OrcDomain {
                 // the object. Drop the token (and re-take it if the counter
                 // fell back to zero under us).
                 lorc = clear_bit_retired(ptr);
-                if (lorc == 0) break;  // token dropped; a later decrement re-retires
+                if (lorc == 0) {
+                    // Token dropped for good; a later decrement re-retires
+                    // (and re-counts the token, which is why resurrections
+                    // offset the unreclaimed balance).
+                    mh.on_resurrect(ptr);
+                    break;
+                }
             }
-            if (try_handover(ptr)) continue;  // ptr is now the swapped-out pointer
+            if (try_handover(mh, ptr)) {
+                ++chain;
+                continue;  // ptr is now the swapped-out pointer
+            }
             const std::uint64_t lorc2 = ptr->_orc.load(std::memory_order_seq_cst);
             if (lorc2 != lorc) continue;  // _orc moved during the scan: revalidate
             // Lemma 1: counter zero, token held, no hp found, sequence
             // unchanged across the scan — safe to destroy.
-            ORC_RETIRE_STAT(tl_[thread_id()], stat_slow_frees, 1);
+            mh.on_free(ptr, /*batched=*/false);
             destroy(ptr);  // may push cascaded retires into recursive_list
             break;
         }
+        mh.on_chain(chain);
     }
 
     /// Batched form of the Lemma 1 check for one cascade generation
@@ -611,22 +616,23 @@ class OrcDomain {
     /// plus zero counter prove no link contained the object at any point in
     /// the pre-read..re-read window. Anything else (resurrection, parked
     /// protection, moved sequence) falls back to retire_one.
-    void retire_generation_batched(DomainState& t, std::size_t begin, std::size_t end) {
+    void retire_generation_batched(OrcMetrics::Hot& mh, DomainState& t, std::size_t begin,
+                                   std::size_t end) {
         t.gen_lorc.clear();
         for (std::size_t i = begin; i < end; ++i) {
             t.gen_lorc.push_back(t.recursive_list[i]->_orc.load(std::memory_order_seq_cst));
         }
-        take_snapshot(t);
+        take_snapshot(mh, t);
         for (std::size_t i = begin; i < end; ++i) {
             orc_base* ptr = t.recursive_list[i];
             const std::uint64_t lorc = t.gen_lorc[i - begin];
             if (orc::is_zero_retired(lorc) && !snapshot_contains(t, ptr) &&
                 ptr->_orc.load(std::memory_order_seq_cst) == lorc) {
-                ORC_RETIRE_STAT(t, stat_batch_frees, 1);
+                mh.on_free(ptr, /*batched=*/true);
                 destroy(ptr);  // pushes the next generation into recursive_list
                 continue;
             }
-            retire_one(ptr);
+            retire_one(mh, ptr);
         }
     }
 
@@ -634,7 +640,7 @@ class OrcDomain {
     /// its own hp_wm — all within THIS domain) into t.snapshot, sorted for
     /// binary search. Other domains' slots are invisible here: that is the
     /// isolation property bench_domains measures.
-    void take_snapshot(DomainState& t) {
+    void take_snapshot(OrcMetrics::Hot& mh, DomainState& t) {
         t.snapshot.clear();
         const int nthreads = thread_id_watermark();
         std::size_t slots = 0;
@@ -649,8 +655,7 @@ class OrcDomain {
             slots += static_cast<std::size_t>(wm);
         }
         std::sort(t.snapshot.begin(), t.snapshot.end(), std::less<orc_base*>());
-        ORC_RETIRE_STAT(t, stat_snapshots, 1);
-        ORC_RETIRE_STAT(t, stat_slots_scanned, slots);
+        mh.on_snapshot(t.snapshot.size(), slots);
     }
 
     static bool snapshot_contains(const DomainState& t, orc_base* ptr) noexcept {
@@ -662,24 +667,24 @@ class OrcDomain {
     /// if found, park it in the paired handover slot and take away whatever
     /// was parked there before. Each thread's scan is bounded by its own
     /// published hp_wm instead of a global high-water mark.
-    bool try_handover(orc_base*& ptr) {
+    bool try_handover(OrcMetrics::Hot& mh, orc_base*& ptr) {
         const int nthreads = thread_id_watermark();
         std::size_t slots = 0;
-        ORC_RETIRE_STAT(tl_[thread_id()], stat_scans, 1);
+        mh.on_scan_begin(ptr);
         for (int it = 0; it < nthreads; ++it) {
             auto& other = tl_[it];
             const int wm = other.hp_wm.load(std::memory_order_seq_cst);
             for (int idx = 0; idx < wm; ++idx) {
                 ++slots;
                 if (other.hp[idx].load(std::memory_order_seq_cst) == ptr) {
-                    ORC_RETIRE_STAT(tl_[thread_id()], stat_slots_scanned, slots);
-                    ORC_RETIRE_STAT(tl_[thread_id()], stat_handovers, 1);
+                    mh.on_scan_end(ptr, slots);
+                    mh.on_handover(ptr);
                     ptr = other.handovers[idx].exchange(ptr, std::memory_order_seq_cst);
                     return true;
                 }
             }
         }
-        ORC_RETIRE_STAT(tl_[thread_id()], stat_slots_scanned, slots);
+        mh.on_scan_end(ptr, slots);
         return false;
     }
 
@@ -710,6 +715,7 @@ class OrcDomain {
 
     const bool is_global_;
     std::atomic<std::int64_t> tracked_objects_{0};
+    OrcMetrics metrics_;
     DomainState tl_[kMaxThreads];
 };
 
@@ -767,7 +773,7 @@ inline void OrcDomain::destroy(orc_base* ptr) {
     delete ptr;
 }
 
-inline OrcDomain::OrcDomain(bool is_global) : is_global_(is_global) {
+inline OrcDomain::OrcDomain(bool is_global) : is_global_(is_global), metrics_(is_global) {
     // Registration wires this domain into the single registry-level
     // thread-exit drain (and, for non-global domains, guards destruction
     // against concurrently exiting threads).

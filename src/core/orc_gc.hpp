@@ -69,11 +69,13 @@ class OrcEngine {
         if (ptr != nullptr) domain_of(ptr).retire(ptr);
     }
 
-#ifdef ORCGC_STATS
+    // ---- telemetry (global domain) ----------------------------------------
+
     using RetireStats = OrcDomain::RetireStats;
     RetireStats stats() const noexcept { return dom_.stats(); }
     void reset_stats() noexcept { dom_.reset_stats(); }
-#endif
+    OrcMetrics& metrics() noexcept { return dom_.metrics(); }
+    const OrcMetrics& metrics() const noexcept { return dom_.metrics(); }
 
     // ---- introspection (global domain) ------------------------------------
 

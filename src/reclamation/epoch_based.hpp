@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
 #include "reclamation/reclaimable.hpp"
@@ -34,9 +35,14 @@ class EpochBasedReclaimer {
     EpochBasedReclaimer& operator=(const EpochBasedReclaimer&) = delete;
 
     ~EpochBasedReclaimer() {
+        std::uint64_t freed = 0;
         for (auto& slot : tl_) {
-            for (auto& r : slot.retired) delete r.ptr;
+            for (auto& r : slot.retired) {
+                delete r.ptr;
+                ++freed;
+            }
         }
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     /// Enters a read-side critical section: announce the current epoch.
@@ -62,7 +68,7 @@ class EpochBasedReclaimer {
     void retire(T* ptr) {
         auto& slot = tl_[thread_id()];
         slot.retired.push_back({ptr, global_era().load(std::memory_order_acquire)});
-        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        metrics_.note_retired();
         if (++slot.since_scan >= kScanFrequency) {
             slot.since_scan = 0;
             try_advance();
@@ -70,11 +76,7 @@ class EpochBasedReclaimer {
         }
     }
 
-    std::size_t unreclaimed_count() const noexcept {
-        std::size_t total = 0;
-        for (const auto& slot : tl_) total += slot.retired_count.load(std::memory_order_relaxed);
-        return total;
-    }
+    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
     struct Retired {
@@ -84,7 +86,6 @@ class EpochBasedReclaimer {
     struct alignas(kCacheLineSize) Slot {
         std::atomic<std::uint64_t> reservation{kQuiescent};
         std::vector<Retired> retired;
-        std::atomic<std::size_t> retired_count{0};
         int since_scan = 0;
     };
     static constexpr int kScanFrequency = 32;
@@ -103,22 +104,26 @@ class EpochBasedReclaimer {
     }
 
     void collect(Slot& slot) {
+        metrics_.note_scan();
         ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
         const std::uint64_t cur = global_era().load(std::memory_order_acquire);
         std::vector<Retired> keep;
         keep.reserve(slot.retired.size());
+        std::uint64_t freed = 0;
         for (auto& r : slot.retired) {
             if (r.epoch + 2 <= cur) {
                 delete r.ptr;
+                ++freed;
             } else {
                 keep.push_back(r);
             }
         }
         slot.retired.swap(keep);
-        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     Slot tl_[kMaxThreads];
+    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

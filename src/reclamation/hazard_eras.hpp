@@ -17,6 +17,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
 #include "reclamation/reclaimable.hpp"
@@ -36,9 +37,14 @@ class HazardEras {
     HazardEras& operator=(const HazardEras&) = delete;
 
     ~HazardEras() {
+        std::uint64_t freed = 0;
         for (auto& slot : tl_) {
-            for (T* ptr : slot.retired) delete ptr;
+            for (T* ptr : slot.retired) {
+                delete ptr;
+                ++freed;
+            }
         }
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     void begin_op() noexcept {}
@@ -88,7 +94,7 @@ class HazardEras {
         ptr->del_era.store(global_era().load(std::memory_order_acquire),
                            std::memory_order_release);
         slot.retired.push_back(ptr);
-        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        metrics_.note_retired();
         if (++slot.since_tick >= kEraFrequency) {
             slot.since_tick = 0;
             global_era().fetch_add(1, std::memory_order_acq_rel);
@@ -96,17 +102,12 @@ class HazardEras {
         if (slot.retired.size() >= scan_threshold()) scan(slot);
     }
 
-    std::size_t unreclaimed_count() const noexcept {
-        std::size_t total = 0;
-        for (const auto& slot : tl_) total += slot.retired_count.load(std::memory_order_relaxed);
-        return total;
-    }
+    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
     struct alignas(kCacheLineSize) Slot {
         std::atomic<std::uint64_t> he[kMaxHPs] = {};
         std::vector<T*> retired;
-        std::atomic<std::size_t> retired_count{0};
         int since_tick = 0;
     };
     static constexpr int kEraFrequency = 64;
@@ -128,24 +129,28 @@ class HazardEras {
     }
 
     void scan(Slot& slot) {
+        metrics_.note_scan();
         // Pairs with the readers' coarse releases: anything the era scan
         // below proves unprotected was released before this point.
         ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
         const int wm = thread_id_watermark();
         std::vector<T*> keep;
         keep.reserve(slot.retired.size());
+        std::uint64_t freed = 0;
         for (T* ptr : slot.retired) {
             if (can_delete(ptr, wm)) {
                 delete ptr;
+                ++freed;
             } else {
                 keep.push_back(ptr);
             }
         }
         slot.retired.swap(keep);
-        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     Slot tl_[kMaxThreads];
+    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

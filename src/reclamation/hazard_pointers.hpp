@@ -17,6 +17,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
 
@@ -32,9 +33,14 @@ class HazardPointers {
     HazardPointers& operator=(const HazardPointers&) = delete;
 
     ~HazardPointers() {
+        std::uint64_t freed = 0;
         for (auto& slot : tl_) {
-            for (T* ptr : slot.retired) delete ptr;
+            for (T* ptr : slot.retired) {
+                delete ptr;
+                ++freed;
+            }
         }
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     void begin_op() noexcept {}
@@ -81,21 +87,16 @@ class HazardPointers {
     void retire(T* ptr) {
         auto& slot = tl_[thread_id()];
         slot.retired.push_back(ptr);
-        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        metrics_.note_retired();
         if (slot.retired.size() >= scan_threshold()) scan(slot);
     }
 
-    std::size_t unreclaimed_count() const noexcept {
-        std::size_t total = 0;
-        for (const auto& slot : tl_) total += slot.retired_count.load(std::memory_order_relaxed);
-        return total;
-    }
+    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
     struct alignas(kCacheLineSize) Slot {
         std::atomic<T*> hp[kMaxHPs] = {};
         std::vector<T*> retired;
-        std::atomic<std::size_t> retired_count{0};
     };
 
     std::size_t scan_threshold() const noexcept {
@@ -103,6 +104,7 @@ class HazardPointers {
     }
 
     void scan(Slot& slot) {
+        metrics_.note_scan();
         std::vector<T*> hazards;
         const int wm = thread_id_watermark();
         hazards.reserve(static_cast<std::size_t>(wm) * kMaxHPs);
@@ -113,6 +115,7 @@ class HazardPointers {
         }
         std::vector<T*> keep;
         keep.reserve(slot.retired.size());
+        std::uint64_t freed = 0;
         for (T* ptr : slot.retired) {
             bool protected_ = false;
             for (T* h : hazards) {
@@ -126,13 +129,15 @@ class HazardPointers {
             } else {
                 ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // scan found no protection
                 delete ptr;
+                ++freed;
             }
         }
         slot.retired.swap(keep);
-        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     Slot tl_[kMaxThreads];
+    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

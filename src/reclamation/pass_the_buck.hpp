@@ -21,6 +21,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
 
@@ -37,13 +38,21 @@ class PassTheBuck {
 
     ~PassTheBuck() {
         // Single-threaded teardown: free buffered values and trapped handoffs.
+        std::uint64_t freed = 0;
         for (auto& slot : tl_) {
-            for (T* ptr : slot.retired) delete ptr;
+            for (T* ptr : slot.retired) {
+                delete ptr;
+                ++freed;
+            }
             for (auto& h : slot.handoff) {
                 Handoff cur = h.load(std::memory_order_acquire);
-                if (cur.ptr != nullptr) delete cur.ptr;
+                if (cur.ptr != nullptr) {
+                    delete cur.ptr;
+                    ++freed;
+                }
             }
         }
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     void begin_op() noexcept {}
@@ -75,23 +84,13 @@ class PassTheBuck {
     void retire(T* ptr) {
         auto& slot = tl_[thread_id()];
         slot.retired.push_back(ptr);
-        slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
-        if (slot.retired.size() >= liberate_threshold()) {
-            liberate(slot.retired);
-            slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
-        }
+        metrics_.note_retired();
+        if (slot.retired.size() >= liberate_threshold()) liberate(slot.retired);
     }
 
-    std::size_t unreclaimed_count() const noexcept {
-        std::size_t total = 0;
-        for (const auto& slot : tl_) {
-            total += slot.retired_count.load(std::memory_order_relaxed);
-            for (const auto& h : slot.handoff) {
-                if (h.load(std::memory_order_acquire).ptr != nullptr) ++total;
-            }
-        }
-        return total;
-    }
+    /// Retired minus freed: values trapped at guards were retired and not yet
+    /// freed, so the balance covers them without walking the handoff slots.
+    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
     /// Pointer + version tag, CASed as a unit (DWCAS). The tag makes each
@@ -107,7 +106,6 @@ class PassTheBuck {
         std::atomic<T*> guard[kMaxHPs] = {};
         std::atomic<Handoff> handoff[kMaxHPs] = {};
         std::vector<T*> retired;
-        std::atomic<std::size_t> retired_count{0};
     };
 
     std::size_t liberate_threshold() const noexcept {
@@ -124,8 +122,9 @@ class PassTheBuck {
         while (cur.ptr != nullptr) {
             if (slot.handoff[idx].compare_exchange_weak(cur, Handoff{nullptr, cur.tag + 1},
                                                         std::memory_order_acq_rel)) {
+                // Collected, not retired anew: the value was already counted
+                // when its original owner called retire().
                 slot.retired.push_back(cur.ptr);
-                slot.retired_count.store(slot.retired.size(), std::memory_order_relaxed);
                 break;
             }
         }
@@ -136,6 +135,7 @@ class PassTheBuck {
     /// set), then frees the values no guard posts. Values that remain posted
     /// but could not be handed off (CAS races) stay buffered in `vs`.
     void liberate(std::vector<T*>& vs) {
+        metrics_.note_scan();
         const int wm = thread_id_watermark();
         for (int it = 0; it < wm; ++it) {
             for (int idx = 0; idx < kMaxHPs; ++idx) {
@@ -166,18 +166,22 @@ class PassTheBuck {
             }
         }
         std::vector<T*> keep;
+        std::uint64_t freed = 0;
         for (T* ptr : vs) {
             if (std::find(hazards.begin(), hazards.end(), ptr) != hazards.end()) {
                 keep.push_back(ptr);
             } else {
                 ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // liberate scan found no guard
                 delete ptr;
+                ++freed;
             }
         }
         vs.swap(keep);
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     Slot tl_[kMaxThreads];
+    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

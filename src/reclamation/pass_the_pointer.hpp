@@ -21,6 +21,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
 
@@ -37,14 +38,17 @@ class PassThePointer {
 
     ~PassThePointer() {
         // Single-threaded teardown: anything still parked is unreachable.
+        std::uint64_t freed = 0;
         for (auto& slot : tl_) {
             for (auto& h : slot.handovers) {
                 if (T* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) {
                     ORC_ANNOTATE_HAPPENS_AFTER(ptr);
                     delete ptr;
+                    ++freed;
                 }
             }
         }
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     void begin_op() noexcept {}
@@ -78,20 +82,15 @@ class PassThePointer {
     void clear_one(int idx) noexcept { clear_one_for(thread_id(), idx); }
 
     /// Algorithm 2 line 22.
-    void retire(T* ptr) { handover_or_delete(ptr, 0); }
-
-    /// Number of pointers currently parked in handover slots (the scheme has
-    /// no other buffering, so this *is* the unreclaimed population).
-    std::size_t unreclaimed_count() const noexcept {
-        std::size_t total = 0;
-        const int wm = thread_id_watermark();
-        for (int it = 0; it < wm; ++it) {
-            for (const auto& h : tl_[it].handovers) {
-                if (h.load(std::memory_order_acquire) != nullptr) ++total;
-            }
-        }
-        return total;
+    void retire(T* ptr) {
+        metrics_.note_retired();
+        handover_or_delete(ptr, 0);
     }
+
+    /// Retired minus freed — i.e. the pointers currently parked in handover
+    /// slots (the scheme has no other buffering, so this *is* the unreclaimed
+    /// population).
+    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
     struct alignas(kCacheLineSize) Slot {
@@ -119,6 +118,7 @@ class PassThePointer {
 
     /// Algorithm 2 lines 24–37.
     void handover_or_delete(T* ptr, int start_tid) {
+        metrics_.note_scan();
         const int wm = thread_id_watermark();
         for (int it = start_tid; it < wm; ++it) {
             for (int idx = 0; idx < kMaxHPs;) {
@@ -134,9 +134,11 @@ class PassThePointer {
         }
         ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // full scan found no protection
         delete ptr;
+        metrics_.note_freed();
     }
 
     Slot tl_[kMaxThreads];
+    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 
 namespace orcgc {
@@ -25,9 +26,14 @@ class ReclaimerNone {
     ReclaimerNone& operator=(const ReclaimerNone&) = delete;
 
     ~ReclaimerNone() {
+        std::uint64_t freed = 0;
         for (auto& slot : retired_) {
-            for (T* ptr : slot.list) delete ptr;
+            for (T* ptr : slot.list) {
+                delete ptr;
+                ++freed;
+            }
         }
+        if (freed != 0) metrics_.note_freed(freed);
     }
 
     void begin_op() noexcept {}
@@ -40,23 +46,18 @@ class ReclaimerNone {
     void clear_one(int /*idx*/) noexcept {}
 
     void retire(T* ptr) {
-        auto& slot = retired_[thread_id()];
-        slot.list.push_back(ptr);
-        slot.count.store(slot.list.size(), std::memory_order_relaxed);
+        retired_[thread_id()].list.push_back(ptr);
+        metrics_.note_retired();
     }
 
-    std::size_t unreclaimed_count() const noexcept {
-        std::size_t total = 0;
-        for (const auto& slot : retired_) total += slot.count.load(std::memory_order_relaxed);
-        return total;
-    }
+    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
     struct alignas(kCacheLineSize) Slot {
         std::vector<T*> list;
-        std::atomic<std::size_t> count{0};
     };
     Slot retired_[kMaxThreads];
+    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

@@ -1,6 +1,6 @@
 // Self-tests for the orc-lint static checker (tools/orc_lint/).
 //
-// Each rule R1–R7 must fire on its crafted bad fixture tree and stay silent
+// Each rule R1–R8 must fire on its crafted bad fixture tree and stay silent
 // on the good tree; the suppression grammar must reject a bare allow() and
 // honor a justified one. The last test is the enforcement gate itself: the
 // real src/ tree must lint clean. Fixture paths and the linter binary
@@ -94,6 +94,14 @@ TEST(OrcLintFixtures, R7FiresOnSingletonAccessOutsideCore) {
     EXPECT_EQ(r.exit_code, 1) << r.output;
     // The direct call and the aliased reference.
     EXPECT_EQ(count_rule(r.output, "R7"), 2) << r.output;
+}
+
+TEST(OrcLintFixtures, R8FiresOnAdHocAtomicCounters) {
+    const LintResult r = run_lint(fixture("bad_r8"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // retired_count and stat_scans; the justified suppression and the
+    // non-counter atomics (reservation, watermark, era) must stay silent.
+    EXPECT_EQ(count_rule(r.output, "R8"), 2) << r.output;
 }
 
 TEST(OrcLintFixtures, BareSuppressionIsAnErrorAndDoesNotSuppress) {

@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
 """Splices measured benchmark output into EXPERIMENTS.md (idempotent).
 
-Usage: tools/fill_experiments.py [bench_output.txt]
+Usage: tools/fill_experiments.py [bench_output.txt] [--telemetry artifact.json]...
 
 Each experiment section in EXPERIMENTS.md carries one plain fenced code
 block of measured rows. This script regenerates every such block from a
 `for b in build/bench/*; do $b; done` transcript: a fenced block whose first
 line (or `<<TOKEN>>` placeholder) matches a row family is replaced with that
 family's current rows. Language-tagged fences (```sh etc.) are left alone.
+
+--telemetry takes a bench `--json` artifact (or a bare orcgc-telemetry-v1
+object) and synthesizes one `telemetry <source> ...` row per reclamation
+source — the shared counter set (retired/freed/peak backlog/scans) plus the
+retire-to-free latency percentiles where the source exports the histogram.
+These rows feed the `<<TELEMETRY>>` block. The flag may repeat; later
+artifacts win on duplicate source names.
 """
+import json
 import re
 import sys
 
@@ -21,6 +29,7 @@ SECTIONS = {
     "FOOTPRINT": r"^skip-footprint",
     "PUBLISH": r"^BM_(Publish|Protect)",
     "OVERHEAD": r"^BM_(Std|Orc|New|Make)",
+    "TELEMETRY": r"^telemetry ",
 }
 
 
@@ -29,9 +38,67 @@ def rows_for(lines, pattern):
     return [ln.rstrip() for ln in lines if rx.search(ln)]
 
 
+def hist_percentile(hist, pct):
+    """Upper bound of the bucket holding the pct-th percentile record."""
+    total = hist.get("count", 0)
+    if total <= 0:
+        return None
+    target = total * pct
+    seen = 0
+    for bucket in hist.get("buckets", []):
+        seen += bucket["count"]
+        if seen >= target:
+            return bucket["upper"]
+    return hist["buckets"][-1]["upper"] if hist.get("buckets") else None
+
+
+def telemetry_rows(paths):
+    """`telemetry <source> ...` rows from bench --json / telemetry exports."""
+    sources = {}
+    for path in paths:
+        doc = json.load(open(path, encoding="utf-8"))
+        telem = doc.get("telemetry", doc)  # bench artifact or bare export
+        for src in telem.get("sources", []):
+            sources[src["name"]] = src
+    rows = []
+    for name in sorted(sources):
+        src = sources[name]
+        common = src.get("common", {})
+        retired = common.get("retired", 0)
+        freed = common.get("freed", 0)
+        parts = [
+            f"telemetry {name:<12}",
+            f"retired={retired}",
+            f"freed={freed}",
+            f"backlog={max(retired - freed, 0)}",
+            f"peak_backlog={common.get('peak_unreclaimed', 0)}",
+            f"scans={common.get('scans', 0)}",
+        ]
+        latency = src.get("histograms", {}).get("retire_latency_gens")
+        if latency:
+            p50 = hist_percentile(latency, 0.50)
+            p99 = hist_percentile(latency, 0.99)
+            if p50 is not None:
+                parts.append(f"lat_gens_p50<={p50}")
+            if p99 is not None:
+                parts.append(f"lat_gens_p99<={p99}")
+        rows.append(" ".join(parts))
+    return rows
+
+
 def main() -> int:
-    bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    args = sys.argv[1:]
+    telemetry_paths = []
+    while "--telemetry" in args:
+        at = args.index("--telemetry")
+        if at + 1 >= len(args):
+            print("--telemetry requires a JSON artifact path", file=sys.stderr)
+            return 2
+        telemetry_paths.append(args[at + 1])
+        del args[at : at + 2]
+    bench_path = args[0] if args else "bench_output.txt"
     bench_lines = open(bench_path, encoding="utf-8", errors="replace").read().splitlines()
+    bench_lines += telemetry_rows(telemetry_paths)
     doc_lines = open("EXPERIMENTS.md", encoding="utf-8").read().splitlines()
 
     out = []
@@ -52,7 +119,10 @@ def main() -> int:
                     if first.startswith(f"<<{token}>>") or re.search(pattern, first):
                         rows = rows_for(bench_lines, pattern)
                         out.append("```")
-                        out.extend(rows if rows else ["(no rows captured - rerun the bench)"])
+                        # The empty marker keeps the <<TOKEN>> so a later run
+                        # with a fuller transcript can still find the block.
+                        out.extend(rows if rows else
+                                   [f"<<{token}>> (no rows captured - rerun the bench)"])
                         out.append("```")
                         replaced = True
                         break

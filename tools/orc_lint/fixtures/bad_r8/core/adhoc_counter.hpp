@@ -1,0 +1,34 @@
+// Fixture: ad-hoc atomic counters in an engine file — R8 must flag the two
+// counter-named integral atomics, honor the justified suppression, and leave
+// non-counter atomics (watermarks, eras, protocol words) alone.
+// Never compiled — linted only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Engine {
+  public:
+    void retire() {
+        retired_count.fetch_add(1, std::memory_order_relaxed);
+        stat_scans.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    // Exactly the pattern R8 bans: shared counters bolted onto engine state
+    // instead of going through the telemetry layer.
+    std::atomic<std::size_t> retired_count{0};
+    std::atomic<std::uint64_t> stat_scans{0};
+
+    // Non-counter atomics stay clean: protocol state, not statistics.
+    std::atomic<std::uint64_t> reservation{0};
+    std::atomic<int> hp_watermark{1};
+    std::atomic<std::uint64_t> del_era{0};
+
+    // orc-lint: allow(R8) debug-only tally, stripped before release builds
+    std::atomic<std::uint64_t> drop_count{0};
+};
+
+}  // namespace fixture

@@ -25,7 +25,7 @@ class Engine {
         tl_[tid].hp.store(ptr, std::memory_order_seq_cst);
     }
     void* read(int tid) const { return tl_[tid].hp.load(std::memory_order_acquire); }
-    void bump() { counter_.fetch_add(1, std::memory_order_relaxed); }
+    void bump() { epoch_.fetch_add(1, std::memory_order_relaxed); }
     bool claim(int tid) {
         bool expected = false;
         return flags_[tid].value.compare_exchange_strong(expected, true,
@@ -35,9 +35,10 @@ class Engine {
   private:
     Slot tl_[kMaxThreads];
     CachelinePadded<std::atomic<bool>> flags_[kMaxThreads];
-    // orc-lint: allow(R4) observational counter sampled off the hot path only
+    // orc-lint: allow(R4) observational samples read off the hot path only
     std::atomic<int> samples_[kMaxThreads] = {};
-    std::atomic<long> counter_{0};
+    // Protocol clock, not a statistic: R8 must leave it alone.
+    std::atomic<long> epoch_{0};
 };
 
 }  // namespace fixture

@@ -32,6 +32,13 @@
 //       grabs it bypasses the domain a structure is bound to and silently
 //       pins everything to the global domain. Bind an OrcDomain (or use
 //       OrcDomain::global() explicitly when the global domain is meant).
+//   R8  in src/core/ and src/reclamation/, no ad-hoc std::atomic counters
+//       (integral atomics whose name says count/counter/total/stat/num) —
+//       metrics belong in the telemetry layer (telemetry::PerThreadCounters,
+//       SchemeMetrics, OrcMetrics), which pads per-thread, aggregates on
+//       read, and exports through the one registry. A stray shared counter
+//       is both a false-sharing hazard and an invisible metric. The layer
+//       itself (orc_metrics.hpp) is exempt.
 //
 // Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
 // line (or put it alone on the line above). Multiple rules:
@@ -78,6 +85,7 @@ struct RuleSet {
     bool r5 = false;  // ds/orc/ only
     bool r6 = false;  // core/ engine files (minus make_orc.hpp)
     bool r7 = false;  // everywhere except core/ (the façade's own home)
+    bool r8 = false;  // core/ and reclamation/ (minus the telemetry layer)
 };
 
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
@@ -241,6 +249,7 @@ class FileLinter {
         if (rules_.r5) check_r5();
         if (rules_.r6) check_r6();
         if (rules_.r7) check_r7();
+        if (rules_.r8) check_r8();
     }
 
   private:
@@ -411,6 +420,72 @@ class FileLinter {
                  "direct OrcEngine::instance() outside src/core/ — bind an OrcDomain "
                  "(OrcDomain::global() when the default domain is meant) instead of "
                  "the compatibility singleton");
+        }
+    }
+
+    // ---- R8: no ad-hoc atomic counters outside the telemetry layer --------
+
+    /// True for template arguments naming an integral type (the only kind a
+    /// hand-rolled counter uses). Pointers and user types stay clean.
+    static bool integral_type_arg(const std::string& arg) {
+        if (arg.find('*') != std::string::npos) return false;
+        return arg.find("int") != std::string::npos ||     // int, uint64_t, ...
+               arg.find("long") != std::string::npos ||
+               arg.find("short") != std::string::npos ||
+               arg.find("size_t") != std::string::npos ||
+               arg == "unsigned" || arg == "char";
+    }
+
+    /// True if a declarator name reads as a statistic. Matches on '_'-split
+    /// components so names like `state_` or `status` stay clean.
+    static bool counter_ish_name(const std::string& name) {
+        std::string lower;
+        lower.reserve(name.size());
+        for (char c : name) lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        std::size_t b = 0;
+        while (b <= lower.size()) {
+            std::size_t e = lower.find('_', b);
+            if (e == std::string::npos) e = lower.size();
+            const std::string part = lower.substr(b, e - b);
+            if (part.find("count") != std::string::npos ||
+                part.find("total") != std::string::npos || part == "num" || part == "nums" ||
+                part == "stat" || part == "stats") {
+                return true;
+            }
+            if (e == lower.size()) break;
+            b = e + 1;
+        }
+        return false;
+    }
+
+    void check_r8() {
+        static const char kNeedle[] = "std::atomic<";
+        std::size_t pos = 0;
+        while ((pos = clean_.find(kNeedle, pos)) != std::string::npos) {
+            const std::size_t start = pos;
+            pos += sizeof(kNeedle) - 1;
+            if (start > 0 && is_ident_char(clean_[start - 1])) continue;
+            // Integral template arguments carry no nested '<>'.
+            const std::size_t close = clean_.find('>', start);
+            if (close == std::string::npos) continue;
+            const std::string arg =
+                trim(clean_.substr(start + sizeof(kNeedle) - 1,
+                                   close - start - (sizeof(kNeedle) - 1)));
+            if (!integral_type_arg(arg)) continue;
+            // Declarator name right after the closing '>': absent for casts,
+            // parameter types and nested templates.
+            std::size_t p = close + 1;
+            while (p < clean_.size() &&
+                   std::isspace(static_cast<unsigned char>(clean_[p]))) ++p;
+            std::size_t b = p;
+            while (p < clean_.size() && is_ident_char(clean_[p])) ++p;
+            if (p == b) continue;
+            const std::string name = clean_.substr(b, p - b);
+            if (!counter_ish_name(name)) continue;
+            emit("R8", line_of(start),
+                 "ad-hoc std::atomic counter '" + name +
+                     "' — metrics in engine/reclamation code go through the telemetry "
+                     "layer (telemetry::PerThreadCounters / SchemeMetrics / OrcMetrics)");
         }
     }
 
@@ -696,6 +771,11 @@ RuleSet rules_for_path(const std::string& generic_path) {
     // other tree — library, tests, benches, examples — must go through a
     // domain.
     r.r7 = !core;
+    // The telemetry layer is where counters are SUPPOSED to live; everywhere
+    // else in the engine and the manual schemes, a hand-rolled atomic
+    // counter bypasses the registry.
+    r.r8 = (core || generic_path.find("/reclamation/") != std::string::npos) &&
+           generic_path.find("/orc_metrics.hpp") == std::string::npos;
     // Client trees (tests/benches/examples) legitimately poke at marked
     // pointers and declare unpadded scratch arrays when exercising the
     // library; the memory-layout rules are library-discipline only.
@@ -729,7 +809,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: orc_lint [--root DIR]... [FILE]...\n"
-                         "Lints OrcGC reclamation discipline (rules R1-R7).\n");
+                         "Lints OrcGC reclamation discipline (rules R1-R8).\n");
             return 0;
         } else {
             inputs.emplace_back(argv[i]);

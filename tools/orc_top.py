@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""orc_top: terminal viewer for OrcGC telemetry exports.
+
+Renders the per-source counter table (plus histograms with --hist) from an
+"orcgc-telemetry-v1" JSON export — either a bare export (ORC_TELEMETRY_JSON,
+ORC_TELEMETRY_DUMP_MS) or a bench --json artifact carrying a "telemetry" key.
+Stdlib only.
+
+Usage:
+  tools/orc_top.py telemetry.json             one-shot table
+  tools/orc_top.py --hist telemetry.json      table + histograms
+  tools/orc_top.py --watch 2 telemetry.json   re-read and redraw every 2 s
+                                              (pair with ORC_TELEMETRY_DUMP_MS
+                                              for a live view of a running
+                                              process)
+
+Columns: retired/freed/scans are monotonic totals; backlog is retired−freed
+at capture; peak is the sampled high-water backlog. Histogram buckets are
+powers of two (b holds values in [2^(b−1), 2^b−1]).
+"""
+import argparse
+import json
+import sys
+import time
+
+
+def load_sources(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    telem = doc.get("telemetry", doc)
+    if telem.get("schema") != "orcgc-telemetry-v1":
+        raise ValueError(f"{path}: not an orcgc-telemetry-v1 export")
+    return telem.get("sources", [])
+
+
+def fmt_count(n):
+    if n >= 10_000_000:
+        return f"{n / 1e6:.0f}M"
+    if n >= 10_000:
+        return f"{n / 1e3:.0f}k"
+    return str(n)
+
+
+def render_table(sources, out):
+    header = f"{'SOURCE':<16} {'RETIRED':>9} {'FREED':>9} {'BACKLOG':>8} {'PEAK':>8} {'SCANS':>9}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for src in sorted(sources, key=lambda s: s["name"]):
+        c = src.get("common", {})
+        retired, freed = c.get("retired", 0), c.get("freed", 0)
+        print(
+            f"{src['name']:<16} {fmt_count(retired):>9} {fmt_count(freed):>9} "
+            f"{fmt_count(max(retired - freed, 0)):>8} "
+            f"{fmt_count(c.get('peak_unreclaimed', 0)):>8} {fmt_count(c.get('scans', 0)):>9}",
+            file=out,
+        )
+
+
+def render_histograms(sources, out):
+    for src in sorted(sources, key=lambda s: s["name"]):
+        for name, hist in sorted(src.get("histograms", {}).items()):
+            count = hist.get("count", 0)
+            if count == 0:
+                continue
+            print(f"\n{src['name']} / {name} (n={count})", file=out)
+            buckets = [b for b in hist.get("buckets", []) if b["count"] > 0]
+            top = max(b["count"] for b in buckets)
+            for b in buckets:
+                span = str(b["lower"]) if b["lower"] == b["upper"] else f"{b['lower']}-{b['upper']}"
+                bar = "#" * max(1, round(40 * b["count"] / top))
+                print(f"  {span:>12} {b['count']:>9} {bar}", file=out)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description="OrcGC telemetry viewer")
+    parser.add_argument("artifact", help="telemetry JSON (bare export or bench --json)")
+    parser.add_argument("--hist", action="store_true", help="also render histograms")
+    parser.add_argument("--watch", type=float, metavar="SECS",
+                        help="redraw every SECS seconds until interrupted")
+    args = parser.parse_args()
+
+    while True:
+        try:
+            sources = load_sources(args.artifact)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"orc_top: {err}", file=sys.stderr)
+            if args.watch is None:
+                return 1
+            time.sleep(args.watch)
+            continue
+        if args.watch is not None:
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+        render_table(sources, sys.stdout)
+        if args.hist:
+            render_histograms(sources, sys.stdout)
+        sys.stdout.flush()
+        if args.watch is None:
+            return 0
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""A/B gate for the always-on telemetry overhead.
+
+Runs the two retire-path benches that stress the instrumented hot paths —
+bench_retire_batch (hoard48 mix, t=8: every retire scans past 48 parked hp
+slots, counters firing per token/free/snapshot) and bench_domains (solo
+series: private-domain cascade churn) — against a telemetry-ON build and a
+-DORCGC_TELEMETRY=OFF build of the same tree, and fails if ON loses more
+than the budget (default 2%).
+
+Per point the best of --repeats alternating runs is compared (max filters
+scheduler noise on shared runners; the A/B alternation keeps thermal or
+load drift from biasing one side). The result is written as
+BENCH_telemetry.json:
+
+  { "schema": "orcgc-telemetry-overhead-v1", "budget": B,
+    "points": [ {bench, series, mix, threads, on_ops, off_ops, ratio}, ...],
+    "geomean_ratio": R, "overhead": 1-R, "pass": true|false }
+
+Usage:
+  tools/telemetry_overhead.py --on-dir build --off-dir build-notelem \
+      [--out BENCH_telemetry.json] [--budget 0.02] [--repeats 3]
+
+The OFF tree is configured and built automatically when --off-dir does not
+contain the bench binaries. ORC_BENCH_MS/RUNS control the per-run window
+(defaults here: 300 ms x 2).
+"""
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+# (binary, env, row filter) per measured bench. retire_batch runs t=8 only;
+# domains keeps its own thread sweep but only solo rows are scored.
+BENCHES = [
+    ("bench_retire_batch", {"ORC_BENCH_THREADS": "8"},
+     lambda r: r["bench"] == "retire_batch" and r["mix"] == "hoard48"),
+    ("bench_domains", {},
+     lambda r: r["bench"] == "domains" and r["mix"] == "solo"),
+]
+
+
+def ensure_off_build(off_dir, source_dir):
+    targets = ["bench_retire_batch", "bench_domains"]
+    if all(os.path.exists(os.path.join(off_dir, "bench", t)) for t in targets):
+        return
+    print(f"configuring telemetry-OFF tree in {off_dir} ...", flush=True)
+    subprocess.run(["cmake", "-B", off_dir, "-S", source_dir,
+                    "-DORCGC_TELEMETRY=OFF"], check=True, stdout=subprocess.DEVNULL)
+    subprocess.run(["cmake", "--build", off_dir, "-j", "--target"] + targets,
+                   check=True, stdout=subprocess.DEVNULL)
+
+
+def run_bench(build_dir, name, extra_env, run_ms, runs):
+    binary = os.path.join(build_dir, "bench", name)
+    # ORC_BENCH_SKIP_GATE: the telemetry-on binary's quiescent gate sections
+    # would otherwise run extra cascades before the timed series, handing the
+    # two sides different allocator states. Identical preambles or it is not
+    # an A/B.
+    env = dict(os.environ, ORC_BENCH_MS=str(run_ms), ORC_BENCH_RUNS=str(runs),
+               ORC_BENCH_SKIP_GATE="1", **extra_env)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        # Gate failures exit non-zero but still flush rows; only a missing
+        # artifact is fatal here.
+        subprocess.run([binary, "--json", json_path], env=env,
+                       stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        with open(json_path, encoding="utf-8") as f:
+            return json.load(f)["rows"]
+    finally:
+        os.unlink(json_path)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description="telemetry overhead A/B gate")
+    parser.add_argument("--on-dir", default="build")
+    parser.add_argument("--off-dir", default="build-notelem")
+    parser.add_argument("--source-dir", default=".")
+    parser.add_argument("--out", default="BENCH_telemetry.json")
+    parser.add_argument("--budget", type=float, default=0.02,
+                        help="max tolerated throughput loss (fraction)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--run-ms", type=int, default=300)
+    parser.add_argument("--runs", type=int, default=2)
+    args = parser.parse_args()
+
+    ensure_off_build(args.off_dir, args.source_dir)
+
+    best = {}  # (side, bench, series, mix, threads) -> best mean ops/s
+    sides = [("on", args.on_dir), ("off", args.off_dir)]
+    for rep in range(args.repeats):
+        for name, env, wanted in BENCHES:
+            # Sides back-to-back per bench, order flipped each pass: load on
+            # a shared runner drifts on the minute scale, so the two sides
+            # must sample the same window and neither may always go first.
+            for side, build_dir in (sides if rep % 2 == 0 else sides[::-1]):
+                for row in run_bench(build_dir, name, env, args.run_ms, args.runs):
+                    if not wanted(row):
+                        continue
+                    key = (side, row["bench"], row["series"], row["mix"], row["threads"])
+                    best[key] = max(best.get(key, 0.0), row["mean_ops_per_sec"])
+        print(f"pass {rep + 1}/{args.repeats} done", flush=True)
+
+    points = []
+    for (side, bench, series, mix, threads), on_ops in sorted(best.items()):
+        if side != "on":
+            continue
+        off_ops = best.get(("off", bench, series, mix, threads), 0.0)
+        if off_ops <= 0:
+            print(f"missing OFF point for {bench}/{series}/{mix}/t={threads}",
+                  file=sys.stderr)
+            return 2
+        points.append({"bench": bench, "series": series, "mix": mix,
+                       "threads": threads, "on_ops": round(on_ops, 1),
+                       "off_ops": round(off_ops, 1),
+                       "ratio": round(on_ops / off_ops, 4)})
+
+    geomean = math.exp(sum(math.log(p["ratio"]) for p in points) / len(points))
+    overhead = 1.0 - geomean
+    ok = overhead <= args.budget
+    result = {"schema": "orcgc-telemetry-overhead-v1", "budget": args.budget,
+              "points": points, "geomean_ratio": round(geomean, 4),
+              "overhead": round(overhead, 4), "pass": ok}
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+
+    for p in points:
+        print(f"{p['bench']:<16} {p['series']:<12} {p['mix']:<8} t={p['threads']:<3} "
+              f"on={p['on_ops']:>12.0f} off={p['off_ops']:>12.0f} ratio={p['ratio']:.3f}")
+    print(f"geomean ratio {geomean:.4f} -> overhead {overhead * 100:.2f}% "
+          f"(budget {args.budget * 100:.0f}%): {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

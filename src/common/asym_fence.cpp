@@ -1,0 +1,185 @@
+// Asymmetric-fence facility: mode resolution, the heavy (scan-side) barrier,
+// and its telemetry provider. The raw membarrier syscall lives here and ONLY
+// here — orc-lint rule R9 rejects it anywhere else in the tree.
+#include "common/asym_fence.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/telemetry.hpp"
+#include "common/tsan_annotations.hpp"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace orcgc {
+namespace asym {
+namespace {
+
+// Command values from <linux/membarrier.h>, spelled locally so the build does
+// not depend on kernel headers new enough to define the expedited commands.
+constexpr int kCmdQuery = 0;
+constexpr int kCmdPrivateExpedited = 1 << 3;
+constexpr int kCmdRegisterPrivateExpedited = 1 << 4;
+
+int membarrier_call(int cmd) noexcept {
+#if defined(__linux__) && defined(SYS_membarrier)
+    return static_cast<int>(::syscall(SYS_membarrier, cmd, 0, 0));
+#else
+    (void)cmd;
+    errno = ENOSYS;
+    return -1;
+#endif
+}
+
+// Registration is per-process and idempotent; racing first-users may both
+// register, which the kernel treats as a no-op.
+bool register_membarrier() noexcept {
+    const int supported = membarrier_call(kCmdQuery);
+    if (supported < 0 || (supported & kCmdPrivateExpedited) == 0) return false;
+    return membarrier_call(kCmdRegisterPrivateExpedited) == 0;
+}
+
+// heavy() barriers actually issued, split by which barrier ran so the
+// telemetry mode label is cross-checkable from the counters alone. A single
+// process-global relaxed counter (not PerThreadCounters): heavy() runs on
+// scan paths where one extra uncontended RMW is noise next to the
+// syscall/fence, and it must stay safe from exit hooks after thread-local
+// teardown.
+std::atomic<std::uint64_t> g_heavy_membarrier{0};
+std::atomic<std::uint64_t> g_heavy_fence{0};
+
+class AsymFenceTelemetry final : public telemetry::MetricProvider {
+  public:
+    AsymFenceTelemetry() {
+        if constexpr (telemetry::kTelemetryEnabled) telemetry::register_provider(this);
+    }
+    ~AsymFenceTelemetry() {
+        if constexpr (telemetry::kTelemetryEnabled) telemetry::unregister_provider(this);
+    }
+
+    const char* telemetry_name() const noexcept override { return "asym_fence"; }
+
+    telemetry::CommonCounters common_counters() const override { return {}; }
+
+    void visit_extras(telemetry::MetricSink& sink) const override {
+        sink.counter("heavy_fences", heavy_fences());
+        sink.counter("heavy_fences_membarrier",
+                     g_heavy_membarrier.load(std::memory_order_relaxed));
+        sink.counter("heavy_fences_fence", g_heavy_fence.load(std::memory_order_relaxed));
+        sink.gauge("mode", static_cast<std::uint64_t>(mode()));
+    }
+};
+
+// Constructed on first mode resolution — i.e. once any protection publish or
+// scan has happened — so it outlives every user and folds into the registry's
+// accumulated totals if the registry outlives it.
+void ensure_provider() {
+    if constexpr (telemetry::kTelemetryEnabled) {
+        static AsymFenceTelemetry provider;
+        (void)provider;
+    }
+}
+
+bool parse_mode(const char* s, Mode* out) noexcept {
+    if (s == nullptr) return false;
+    if (std::strcmp(s, "membarrier") == 0) {
+        *out = Mode::kMembarrier;
+    } else if (std::strcmp(s, "fence") == 0) {
+        *out = Mode::kFence;
+    } else if (std::strcmp(s, "off") == 0) {
+        *out = Mode::kOff;
+    } else if (std::strcmp(s, "seqcst") == 0) {
+        *out = Mode::kSeqCst;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+const char* mode_name(Mode m) noexcept {
+    switch (m) {
+        case Mode::kOff: return "off";
+        case Mode::kFence: return "fence";
+        case Mode::kMembarrier: return "membarrier";
+        case Mode::kSeqCst: return "seqcst";
+    }
+    return "?";
+}
+
+bool membarrier_supported() noexcept { return register_membarrier(); }
+
+namespace testing {
+
+Mode resolve(const char* env_value, Mode compiled, bool tsan_active,
+             bool membarrier_available) noexcept {
+    Mode m = compiled;
+    Mode from_env;
+    if (parse_mode(env_value, &from_env)) m = from_env;
+    // TSan cannot see the membarrier edge (the kernel barrier is invisible to
+    // the race detector), so the asymmetric mode would drown TSan runs in
+    // false positives: degrade to the two-sided fence.
+    if (tsan_active && m == Mode::kMembarrier) m = Mode::kFence;
+    if (m == Mode::kMembarrier && !membarrier_available) m = Mode::kFence;
+    return m;
+}
+
+void set_mode(Mode m) noexcept {
+    if (m == Mode::kMembarrier) {
+        m = resolve(nullptr, m, ORCGC_TSAN_ACTIVE != 0, register_membarrier());
+    }
+    ensure_provider();
+    detail::g_mode.store(static_cast<int>(m), std::memory_order_seq_cst);
+}
+
+void reset_mode() noexcept { detail::g_mode.store(-1, std::memory_order_seq_cst); }
+
+}  // namespace testing
+
+namespace detail {
+
+Mode resolve_mode() noexcept {
+    const Mode compiled = compiled_default();
+    const char* env = std::getenv("ORC_ASYM_FENCE");
+    // Probe (and register) membarrier only when the pre-degradation choice
+    // would actually use it.
+    const Mode pre = testing::resolve(env, compiled, ORCGC_TSAN_ACTIVE != 0, true);
+    const bool available = pre == Mode::kMembarrier ? register_membarrier() : true;
+    const Mode m = testing::resolve(env, compiled, ORCGC_TSAN_ACTIVE != 0, available);
+    ensure_provider();
+    g_mode.store(static_cast<int>(m), std::memory_order_seq_cst);
+    return m;
+}
+
+}  // namespace detail
+
+void heavy() noexcept {
+    switch (mode()) {
+        case Mode::kMembarrier:
+            membarrier_call(kCmdPrivateExpedited);
+            g_heavy_membarrier.fetch_add(1, std::memory_order_relaxed);
+            break;
+        case Mode::kFence:
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            g_heavy_fence.fetch_add(1, std::memory_order_relaxed);
+            break;
+        case Mode::kOff:
+        case Mode::kSeqCst:
+            // off: deliberately nothing. seqcst: readers already paid the full
+            // fence on every publish — the seed behaviour this mode reproduces.
+            break;
+    }
+}
+
+std::uint64_t heavy_fences() noexcept {
+    return g_heavy_membarrier.load(std::memory_order_relaxed) +
+           g_heavy_fence.load(std::memory_order_relaxed);
+}
+
+}  // namespace asym
+}  // namespace orcgc

@@ -72,10 +72,10 @@ class orc_atomic {
         return orc_ptr<T>(ptr, idx, &dom);
     }
 
-    /// Unprotected raw read. Only safe when the caller already protects the
-    /// result (re-reads through a live orc_ptr) or in quiescent contexts
-    /// (constructors, destructors, tests).
-    T load_unsafe(std::memory_order order = std::memory_order_seq_cst) const noexcept {
+    /// Unprotected raw read; acquire by default — validation comparisons and
+    /// quiescent contexts (constructors, destructors, tests) never need the
+    /// SC total order, and callers that do can pass seq_cst explicitly.
+    T load_unsafe(std::memory_order order = std::memory_order_acquire) const noexcept {
         return link_.load(order);
     }
 

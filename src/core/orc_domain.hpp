@@ -58,6 +58,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/fatal.hpp"
 #include "common/marked_ptr.hpp"
@@ -165,14 +166,14 @@ class OrcDomain {
         }
         const int idx = t.free_stack[t.free_top--];
         t.used_haz[idx] = 1;
-        // Raise-before-publish: this seq_cst store is sequenced before any
-        // seq_cst hp publish on the new index, so a scanner whose watermark
-        // load predates the raise can only miss publications that are
-        // SC-after its scan — and those readers must revalidate against a
-        // source link that the zero counter proves is already gone
-        // (DESIGN.md "Retire-path complexity").
+        // Raise-before-publish: this release store is sequenced before any
+        // asym::publish on the new index, so a scanner whose asym::heavy()
+        // precedes the raise can only miss publications ordered after its
+        // scan — and those readers must revalidate against a source link
+        // that the zero counter proves is already gone (DESIGN.md "Memory
+        // ordering and asymmetric fences").
         if (idx >= t.hp_wm.load(std::memory_order_relaxed)) {
-            t.hp_wm.store(idx + 1, std::memory_order_seq_cst);
+            t.hp_wm.store(idx + 1, std::memory_order_release);
             if (idx >= t.hp_peak.load(std::memory_order_relaxed)) {
                 t.hp_peak.store(idx + 1, std::memory_order_release);
             }
@@ -222,11 +223,15 @@ class OrcDomain {
 
     // ---- protection -------------------------------------------------------
 
-    /// Publishes `ptr` (unmarked) at hp index `idx` with a full fence.
+    /// Publishes `ptr` (unmarked) at hp index `idx`. The publish is a release
+    /// store + asym::light(); the scan-side asym::heavy() (take_snapshot /
+    /// try_handover) replaces the seq_cst edge the old full-fence exchange
+    /// provided, and the caller's link revalidation catches a publish the
+    /// scan raced past.
     void protect_ptr(orc_base* ptr, int idx) noexcept {
         auto& slot = tl_[thread_id()].hp[idx];
         tsan_release_protection(slot);
-        slot.exchange(ptr, std::memory_order_seq_cst);
+        asym::publish(slot, ptr);
     }
 
     /// Classic hazard-pointer acquire loop (Algorithm 2 lines 4–11): publish
@@ -241,7 +246,11 @@ class OrcDomain {
             orc_base* base = to_base(ptr);
             if (base == pub) return ptr;
             tsan_release_protection(hp);  // previous publication loses coverage
-            hp.exchange(base, std::memory_order_seq_cst);
+            // The loop's re-read of addr after the publish is the validation
+            // load an asymmetric publish needs: a retire scan whose
+            // asym::heavy() missed this publish unlinked the node before the
+            // fence, so the re-read observes the unlink and loops.
+            asym::publish(hp, base);
             pub = base;
         }
     }
@@ -251,7 +260,11 @@ class OrcDomain {
     void scratch_protect(orc_base* ptr) noexcept {
         auto& slot = tl_[thread_id()].hp[0];
         tsan_release_protection(slot);
-        slot.exchange(ptr, std::memory_order_seq_cst);
+        // Asymmetric publish is sound here too: the caller's subsequent _orc
+        // RMW is seq_cst, and a retire scan that misses this publish re-reads
+        // _orc after its asym::heavy() (the lorc2 revalidation), observing
+        // that RMW and bailing out (Proposition 1's shield).
+        asym::publish(slot, ptr);
     }
 
     /// Clears the scratch slot and drains anything parked on it by a
@@ -512,9 +525,20 @@ class OrcDomain {
     void drain_thread(int tid) {
         auto& t = tl_[tid];
         const int peak = t.hp_peak.load(std::memory_order_acquire);
+        // Unpublish everything first (release suffices for clears — a scanner
+        // reading a stale hp parks conservatively), then ONE asym::heavy()
+        // orders the null stores before the handover drain: after the fence,
+        // any scanner still running either published its park already (the
+        // exchange below takes it) or will re-read these slots as null and
+        // not park at all. A park that races past both lands in a slot the
+        // next drain of this tid (or the destructor) covers — the same window
+        // the old per-slot seq_cst stores had.
         for (int idx = 0; idx < peak; ++idx) {
             tsan_release_protection(t.hp[idx]);
-            t.hp[idx].store(nullptr, std::memory_order_seq_cst);
+            t.hp[idx].store(nullptr, std::memory_order_release);
+        }
+        asym::heavy();
+        for (int idx = 0; idx < peak; ++idx) {
             if (orc_base* h = t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst)) {
                 metrics_.on_drain(h);
                 retire(h);
@@ -524,7 +548,7 @@ class OrcDomain {
         // monotonic on purpose: a scanner that read a stale hp just before
         // this drain can still park into one of these handover slots, and the
         // next drain (or the domain destructor) must keep looking there.
-        t.hp_wm.store(1, std::memory_order_seq_cst);
+        t.hp_wm.store(1, std::memory_order_release);
     }
 
     /// Tightens the published scan bound after an index was recycled. Only
@@ -534,17 +558,23 @@ class OrcDomain {
     ///
     /// Hysteresis: the bound only moves when it can tighten by at least two
     /// slots. Without the slack, a workload holding one orc_ptr at a time
-    /// would alternate get_new_idx's raise with a lower here — two seq_cst
+    /// would alternate get_new_idx's raise with a lower here — two watermark
     /// stores per protect/release cycle on the hot path. With it, steady
     /// oscillation around the bound settles one slot high and generates no
     /// watermark traffic at all; scanners pay at most one extra null slot
     /// per thread.
+    ///
+    /// Release (no asym::heavy()): lowering only shrinks the scanned range,
+    /// and every slot it hides is free — its hp entry was nulled (release)
+    /// by unpublish_and_drain before the index was recycled, in the same
+    /// release sequence a scanner's acquire of the new bound picks up. A
+    /// scanner still using the old bound merely reads extra null slots.
     void lower_hp_watermark(DomainState& t) noexcept {
         const int wm = t.hp_wm.load(std::memory_order_relaxed);
         int top = wm - 1;
         while (top >= 1 && t.used_haz[top] == 0) --top;
         const int tightened = top < 1 ? 1 : top + 1;
-        if (tightened <= wm - 2) t.hp_wm.store(tightened, std::memory_order_seq_cst);
+        if (tightened <= wm - 2) t.hp_wm.store(tightened, std::memory_order_release);
     }
 
     void unpublish_and_drain(DomainState& t, int idx) {
@@ -642,6 +672,13 @@ class OrcDomain {
     /// isolation property bench_domains measures.
     void take_snapshot(OrcMetrics::Hot& mh, DomainState& t) {
         t.snapshot.clear();
+        // Scan-side half of the asymmetric pair: every generation member's
+        // retire token (a seq_cst RMW on _orc) was taken before this call, so
+        // a publish this fence misses was ordered after it — that reader's
+        // validation re-read (get_protected loop / Lemma 1 sequence check)
+        // then sees the unlink or the moved _orc and cannot rely on the
+        // missed publication.
+        asym::heavy();
         const int nthreads = thread_id_watermark();
         std::size_t slots = 0;
         for (int it = 0; it < nthreads; ++it) {
@@ -671,6 +708,11 @@ class OrcDomain {
         const int nthreads = thread_id_watermark();
         std::size_t slots = 0;
         mh.on_scan_begin(ptr);
+        // Scan-side half of the asymmetric pair (same argument as
+        // take_snapshot): the caller holds ptr's retire token, so a publish
+        // of ptr this fence misses was ordered after the token — and that
+        // reader's validation load / lorc2 revalidation catches it.
+        asym::heavy();
         for (int it = 0; it < nthreads; ++it) {
             auto& other = tl_[it];
             const int wm = other.hp_wm.load(std::memory_order_seq_cst);
@@ -695,9 +737,11 @@ class OrcDomain {
     std::uint64_t clear_bit_retired(orc_base* ptr) {
         auto& t = tl_[thread_id()];
         // Publish on scratch: we are about to mutate _orc of an object whose
-        // token we are in the middle of dropping (Proposition 1).
+        // token we are in the middle of dropping (Proposition 1). Asymmetric
+        // publish, same argument as scratch_protect: the seq_cst _orc RMW
+        // right after it is what a racing scanner's revalidation observes.
         tsan_release_protection(t.hp[0]);
-        t.hp[0].exchange(ptr, std::memory_order_seq_cst);
+        asym::publish(t.hp[0], ptr);
         const std::uint64_t lorc = ptr->sub_retired();
         std::uint64_t result = 0;
         if (orc::is_zero_unretired(lorc)) {
@@ -805,13 +849,19 @@ inline OrcDomain::~OrcDomain() {
     //
     // 1. Unpublish every hp slot. With every slot null, a retire scan run by
     //    step 2 can never find a protection, so nothing can re-park and the
-    //    drain terminates (no livelock by construction).
+    //    drain terminates (no livelock by construction). The asym::heavy()
+    //    after the loop orders the null stores before step 2's handover
+    //    reads (the destruction-drain edge the per-slot seq_cst stores used
+    //    to provide); the precondition — no thread still operates on this
+    //    domain — makes it a formality, but it keeps the protocol's ordering
+    //    argument independent of the precondition.
     for (auto& t : tl_) {
         for (auto& hp : t.hp) {
             tsan_release_protection(hp);
-            hp.store(nullptr, std::memory_order_seq_cst);
+            hp.store(nullptr, std::memory_order_release);
         }
     }
+    asym::heavy();
     // 2. Drain every handover through the full retire cascade. The parked
     //    objects carry their retire tokens; their destructors may cascade
     //    into further retires, which also find no protections and free

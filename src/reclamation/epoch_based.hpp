@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
@@ -48,7 +49,15 @@ class EpochBasedReclaimer {
     /// Enters a read-side critical section: announce the current epoch.
     void begin_op() noexcept {
         auto& res = tl_[thread_id()].reservation;
-        res.store(global_era().load(std::memory_order_acquire), std::memory_order_seq_cst);
+        const std::uint64_t era = global_era().load(std::memory_order_acquire);
+        // Changed-era guard (the one hazard_eras always had and EBR lacked):
+        // re-announcing an unchanged reservation would pay the publish fence
+        // for nothing. It only triggers on nested/re-entered sections — the
+        // common begin/end cycle resets to kQuiescent and always publishes —
+        // but with asym::publish the publish itself is now fence-free too.
+        if (res.load(std::memory_order_relaxed) != era) {
+            asym::publish(res, era);
+        }
     }
 
     /// Leaves the critical section (quiescent state).
@@ -94,6 +103,13 @@ class EpochBasedReclaimer {
     /// has announced the current epoch. This is the blocking step: one
     /// stalled reader pins the epoch forever.
     void try_advance() noexcept {
+        // Scan-side half of the asymmetric pair: a reservation publish this
+        // fence misses was ordered after it, so that reader entered its
+        // critical section after the epoch we are about to advance from —
+        // it announced the current (or a newer) epoch and the two-epoch
+        // grace window still covers everything it can reach. collect() needs
+        // no fence of its own: it only trusts epochs try_advance proved.
+        asym::heavy();
         std::uint64_t cur = global_era().load(std::memory_order_acquire);
         const int wm = thread_id_watermark();
         for (int it = 0; it < wm; ++it) {

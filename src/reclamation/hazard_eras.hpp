@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/telemetry.hpp"
@@ -65,9 +66,11 @@ class HazardEras {
             const std::uint64_t era = global_era().load(std::memory_order_acquire);
             if (era == prev_era) return ptr;
             // Era moved: publish the new reservation and re-read. Objects
-            // covered only by the old reservation lose protection here.
+            // covered only by the old reservation lose protection here. The
+            // loop's re-read of addr and the era re-check are the validation
+            // a scan's asym::heavy() pairs with.
             ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-            he.store(era, std::memory_order_seq_cst);
+            asym::publish(he, era);
             prev_era = era;
         }
     }
@@ -80,7 +83,7 @@ class HazardEras {
         const std::uint64_t era = global_era().load(std::memory_order_acquire);
         if (he.load(std::memory_order_relaxed) != era) {
             ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-            he.store(era, std::memory_order_seq_cst);
+            asym::publish(he, era);
         }
     }
 
@@ -130,6 +133,11 @@ class HazardEras {
 
     void scan(Slot& slot) {
         metrics_.note_scan();
+        // Scan-side half of the asymmetric pair: every retired node's del_era
+        // was stamped before the scan, so a reservation this fence misses was
+        // published after the node's deletion era ticked — its owner's era
+        // re-check in get_protected rejects any node the scan may free.
+        asym::heavy();
         // Pairs with the readers' coarse releases: anything the era scan
         // below proves unprotected was released before this point.
         ORC_ANNOTATE_HAPPENS_AFTER(&global_era());

@@ -7,14 +7,18 @@
 // thread. Bound on unreclaimed objects: O(H·t²) — each of t threads may
 // buffer up to R = H·t + slack nodes.
 //
-// Uses only atomic loads and stores (a seq_cst store for publication, which
-// on x86 compiles to xchg or mov+mfence — exactly the fence the paper's §5
-// discusses when comparing Intel and AMD).
+// Publication goes through asym::publish (release store + asym::light());
+// the seq_cst store the scheme classically pays per publication — on x86 an
+// xchg or mov+mfence, exactly the fence the paper's §5 discusses when
+// comparing Intel and AMD — is replaced by one asym::heavy() per scan (see
+// src/common/asym_fence.hpp and DESIGN.md "Memory ordering and asymmetric
+// fences").
 #pragma once
 
 #include <atomic>
 #include <vector>
 
+#include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/telemetry.hpp"
@@ -64,7 +68,10 @@ class HazardPointers {
             if (get_unmarked(ptr) == pub) return ptr;
             pub = get_unmarked(ptr);
             tsan_release_protection(hp);  // previous publication loses coverage
-            hp.store(pub, std::memory_order_seq_cst);
+            // The loop's re-read of addr is the post-publish validation: a
+            // scan whose asym::heavy() missed this publish saw the node
+            // already unlinked, and the re-read observes that unlink.
+            asym::publish(hp, pub);
         }
     }
 
@@ -73,7 +80,7 @@ class HazardPointers {
     void protect_ptr(T* ptr, int idx) noexcept {
         auto& slot = tl_[thread_id()].hp[idx];
         tsan_release_protection(slot);
-        slot.store(get_unmarked(ptr), std::memory_order_seq_cst);
+        asym::publish(slot, get_unmarked(ptr));
     }
 
     void clear_one(int idx) noexcept {
@@ -105,6 +112,11 @@ class HazardPointers {
 
     void scan(Slot& slot) {
         metrics_.note_scan();
+        // Scan-side half of the asymmetric pair: every node in slot.retired
+        // was unlinked before it was retired, so a publish this fence misses
+        // was ordered after the unlink — that reader's validation re-read
+        // fails and it never dereferences the node.
+        asym::heavy();
         std::vector<T*> hazards;
         const int wm = thread_id_watermark();
         hazards.reserve(static_cast<std::size_t>(wm) * kMaxHPs);

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
@@ -54,8 +55,13 @@ class IntervalBasedReclaimer {
     void begin_op() noexcept {
         auto& slot = tl_[thread_id()];
         const std::uint64_t era = global_era().load(std::memory_order_acquire);
-        slot.lower.store(era, std::memory_order_seq_cst);
-        slot.upper.store(era, std::memory_order_seq_cst);
+        // One asymmetric publish for the pair: the release store of `lower`
+        // is ordered before the publish of `upper` (release sequence on the
+        // same fence), so a scan's asym::heavy() that sees the new upper
+        // also sees the new lower — and one that misses both treats the
+        // reservation as ordered after its fence, same as one missed slot.
+        slot.lower.store(era, std::memory_order_release);
+        asym::publish(slot.upper, era);
     }
 
     void end_op() noexcept {
@@ -76,7 +82,9 @@ class IntervalBasedReclaimer {
             const std::uint64_t era = global_era().load(std::memory_order_acquire);
             if (era == prev) return ptr;
             ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-            slot.upper.store(era, std::memory_order_seq_cst);
+            // The loop's re-read of addr and era re-check are the validation
+            // a scan's asym::heavy() pairs with.
+            asym::publish(slot.upper, era);
             prev = era;
         }
     }
@@ -85,7 +93,7 @@ class IntervalBasedReclaimer {
         const std::uint64_t era = global_era().load(std::memory_order_acquire);
         if (slot.upper.load(std::memory_order_relaxed) != era) {
             ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-            slot.upper.store(era, std::memory_order_seq_cst);
+            asym::publish(slot.upper, era);
         }
     }
     void clear_one(int /*idx*/) noexcept {}
@@ -133,6 +141,11 @@ class IntervalBasedReclaimer {
 
     void scan(Slot& slot) {
         metrics_.note_scan();
+        // Scan-side half of the asymmetric pair: a range reservation this
+        // fence misses was published after every retired node's del_era was
+        // stamped — that reader's era re-check (get_protected loop) keeps it
+        // from covering a node this scan frees.
+        asym::heavy();
         ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
         const int wm = thread_id_watermark();
         std::vector<T*> keep;

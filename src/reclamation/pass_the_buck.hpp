@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/telemetry.hpp"
@@ -69,14 +70,16 @@ class PassTheBuck {
             if (get_unmarked(ptr) == pub) return ptr;
             pub = get_unmarked(ptr);
             tsan_release_protection(guard);  // previous post loses coverage
-            guard.store(pub, std::memory_order_seq_cst);
+            // The loop's re-read of addr is the post-publish validation a
+            // liberate pass's asym::heavy() pairs with.
+            asym::publish(guard, pub);
         }
     }
 
     void protect_ptr(T* ptr, int idx) noexcept {
         auto& slot = tl_[thread_id()].guard[idx];
         tsan_release_protection(slot);
-        slot.store(get_unmarked(ptr), std::memory_order_seq_cst);
+        asym::publish(slot, get_unmarked(ptr));
     }
 
     void clear_one(int idx) noexcept { clear_one_for(thread_id(), idx); }
@@ -115,7 +118,10 @@ class PassTheBuck {
     void clear_one_for(int tid, int idx) noexcept {
         auto& slot = tl_[tid];
         tsan_release_protection(slot.guard[idx]);
-        slot.guard[idx].store(nullptr, std::memory_order_seq_cst);
+        // Release suffices for the clear: a liberator reading the stale
+        // non-null guard hands off conservatively, and the handoff CAS below
+        // is an acq_rel RMW that always takes the latest trapped value.
+        slot.guard[idx].store(nullptr, std::memory_order_release);
         // Collect any value trapped at this guard; we are now responsible
         // for liberating it.
         Handoff cur = slot.handoff[idx].load(std::memory_order_acquire);
@@ -136,6 +142,11 @@ class PassTheBuck {
     /// but could not be handed off (CAS races) stay buffered in `vs`.
     void liberate(std::vector<T*>& vs) {
         metrics_.note_scan();
+        // Scan-side half of the asymmetric pair: every value in vs was
+        // unlinked before retire() buffered it, so a guard post this fence
+        // misses was ordered after the unlink — that reader's validation
+        // re-read rejects the node before dereferencing.
+        asym::heavy();
         const int wm = thread_id_watermark();
         for (int it = 0; it < wm; ++it) {
             for (int idx = 0; idx < kMaxHPs; ++idx) {

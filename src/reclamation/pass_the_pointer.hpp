@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstddef>
 
+#include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/telemetry.hpp"
@@ -58,9 +59,11 @@ class PassThePointer {
         for (int idx = 0; idx < kMaxHPs; ++idx) clear_one_for(tid, idx);
     }
 
-    /// Algorithm 2 lines 4–11. Publication uses exchange() by default — the
-    /// paper found it faster than mov+mfence on AMD (§5); see
-    /// bench_publish_ablation for the measured difference.
+    /// Algorithm 2 lines 4–11. Publication used exchange() — the paper found
+    /// it faster than mov+mfence on AMD (§5); asym::publish removes the full
+    /// fence from this path entirely (the scan-side asym::heavy() in
+    /// handover_or_delete is the new synchronizing edge), and its seqcst mode
+    /// reproduces the old exchange for bench_publish_ablation's A/B rows.
     T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
         auto& hp = tl_[thread_id()].hp[idx];
         T* pub = nullptr;
@@ -68,14 +71,14 @@ class PassThePointer {
             if (get_unmarked(ptr) == pub) return ptr;
             pub = get_unmarked(ptr);
             tsan_release_protection(hp);  // previous publication loses coverage
-            hp.exchange(pub, std::memory_order_seq_cst);
+            asym::publish(hp, pub);
         }
     }
 
     void protect_ptr(T* ptr, int idx) noexcept {
         auto& slot = tl_[thread_id()].hp[idx];
         tsan_release_protection(slot);
-        slot.exchange(get_unmarked(ptr), std::memory_order_seq_cst);
+        asym::publish(slot, get_unmarked(ptr));
     }
 
     /// Algorithm 2 lines 13–20: unpublish and drain the paired handover.
@@ -119,6 +122,11 @@ class PassThePointer {
     /// Algorithm 2 lines 24–37.
     void handover_or_delete(T* ptr, int start_tid) {
         metrics_.note_scan();
+        // Scan-side half of the asymmetric pair: ptr was unlinked before
+        // retire()/the drain handed it here, so a publish this fence misses
+        // was ordered after the unlink and that reader's validation re-read
+        // rejects it.
+        asym::heavy();
         const int wm = thread_id_watermark();
         for (int it = start_tid; it < wm; ++it) {
             for (int idx = 0; idx < kMaxHPs;) {

@@ -1,6 +1,6 @@
 // Self-tests for the orc-lint static checker (tools/orc_lint/).
 //
-// Each rule R1–R8 must fire on its crafted bad fixture tree and stay silent
+// Each rule R1–R9 must fire on its crafted bad fixture tree and stay silent
 // on the good tree; the suppression grammar must reject a bare allow() and
 // honor a justified one. The last test is the enforcement gate itself: the
 // real src/ tree must lint clean. Fixture paths and the linter binary
@@ -102,6 +102,15 @@ TEST(OrcLintFixtures, R8FiresOnAdHocAtomicCounters) {
     // retired_count and stat_scans; the justified suppression and the
     // non-counter atomics (reservation, watermark, era) must stay silent.
     EXPECT_EQ(count_rule(r.output, "R8"), 2) << r.output;
+}
+
+TEST(OrcLintFixtures, R9FiresOnRawFencesAndSeqCstSlotPublishes) {
+    const LintResult r = run_lint(fixture("bad_r9"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The membarrier token, the syscall token, the seq_cst hp store, and the
+    // seq_cst guard exchange; the handover drain (not a protection slot) and
+    // the release publish must stay silent.
+    EXPECT_EQ(count_rule(r.output, "R9"), 4) << r.output;
 }
 
 TEST(OrcLintFixtures, BareSuppressionIsAnErrorAndDoesNotSuppress) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/alloc_tracker.hpp"
+#include "common/asym_fence.hpp"
 #include "common/barrier.hpp"
 #include "common/thread_registry.hpp"
 #include "core/orc_gc.hpp"
@@ -103,6 +104,58 @@ TYPED_TEST(ReclaimerContractTest, ProtectedObjectSurvivesConcurrentRetire) {
     }
     EXPECT_EQ(counters.dead_accesses(), 0);
     EXPECT_EQ(counters.double_destroys(), 0);
+}
+
+// The concurrent protect-vs-retire race of ProtectedObjectSurvivesConcurrentRetire,
+// run explicitly under each safe fence strategy: the scheme scans' asym::heavy()
+// must uphold the no-UAF guarantee whether it is the process-wide barrier or
+// the two-sided fallback. (The *_fencemode ctest leg additionally reruns the
+// whole suite with ORC_ASYM_FENCE=fence from the environment.)
+TYPED_TEST(ReclaimerContractTest, ProtectionHoldsUnderBothFenceModes) {
+    auto& counters = AllocCounters::instance();
+    for (const asym::Mode mode : {asym::Mode::kMembarrier, asym::Mode::kFence}) {
+        asym::testing::ScopedMode scoped(mode);
+        {
+            TypeParam gc;
+            const int kRounds = stress_iters(120);
+            std::atomic<TestNode*> link{nullptr};
+            std::atomic<bool> stop{false};
+            SpinBarrier barrier(2);
+            std::thread protector([&] {
+                barrier.arrive_and_wait();
+                while (!stop.load(std::memory_order_acquire)) {
+                    gc.begin_op();
+                    TestNode* node = gc.get_protected(link, 0);
+                    if (node != nullptr) {
+                        for (int i = 0; i < 50; ++i) {
+                            ASSERT_TRUE(node->check_alive());
+                        }
+                    }
+                    gc.end_op();
+                }
+            });
+            std::thread retirer([&] {
+                barrier.arrive_and_wait();
+                for (int i = 0; i < kRounds; ++i) {
+                    TestNode* node = new TestNode(i);
+                    link.store(node, std::memory_order_seq_cst);
+                    std::this_thread::yield();
+                    TestNode* expected = node;
+                    if (link.compare_exchange_strong(expected, nullptr)) {
+                        gc.begin_op();
+                        gc.retire(node);
+                        gc.end_op();
+                    }
+                }
+                stop.store(true, std::memory_order_release);
+            });
+            protector.join();
+            retirer.join();
+        }
+        EXPECT_EQ(counters.dead_accesses(), 0) << "UAF under mode " << asym::mode_name(mode);
+        EXPECT_EQ(counters.double_destroys(), 0)
+            << "double destroy under mode " << asym::mode_name(mode);
+    }
 }
 
 TYPED_TEST(ReclaimerContractTest, UnreclaimedCountDrainsToZeroAfterQuiescence) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/alloc_tracker.hpp"
+#include "common/asym_fence.hpp"
 #include "common/barrier.hpp"
 #include "common/rng.hpp"
 #include "common/workload.hpp"
@@ -150,6 +151,48 @@ TEST(RetireCascade, FanoutUsesAtMostTwoSnapshotsPerCascade) {
     const OrcDomain::RetireStats s = engine.stats();
     EXPECT_LE(s.snapshots, static_cast<std::uint64_t>(2 * kCascades));
     EXPECT_GT(s.batch_frees, 0u) << "fanout children should free via the snapshot path";
+}
+
+// Both cascade shapes again, under each safe fence strategy explicitly: the
+// retire scans' asym::heavy() must keep the exactly-once guarantee whether it
+// is a process-wide barrier or the two-sided fallback. (The *_fencemode ctest
+// leg additionally reruns this whole suite with ORC_ASYM_FENCE=fence.)
+TEST(RetireCascade, CascadesAreExactlyOnceUnderBothFenceModes) {
+    auto& counters = AllocCounters::instance();
+    for (const asym::Mode mode : {asym::Mode::kMembarrier, asym::Mode::kFence}) {
+        asym::testing::ScopedMode scoped(mode);
+        const auto live_before = counters.live_count();
+        const auto doubles_before = counters.double_destroys();
+        const int depth = stress_iters(500);
+        {
+            orc_atomic<Node*> root;
+            {
+                orc_ptr<Node*> head = make_orc<Node>(0);
+                orc_ptr<Node*> cur = head;
+                for (int i = 1; i < depth; ++i) {
+                    orc_ptr<Node*> nxt = make_orc<Node>(i);
+                    cur->next.store(nxt);
+                    cur = nxt;
+                }
+                root.store(head);
+            }
+            root.store(nullptr);
+            EXPECT_EQ(counters.live_count(), live_before)
+                << "leak under mode " << asym::mode_name(mode);
+        }
+        {
+            orc_ptr<WideNode*> root = make_orc<WideNode>();
+            for (int i = 0; i < WideNode::kChildren; ++i) {
+                orc_ptr<WideNode*> c = make_orc<WideNode>();
+                root->child[i].store(c);
+            }
+            root = nullptr;  // batched snapshot path
+            EXPECT_EQ(counters.live_count(), live_before)
+                << "leak under mode " << asym::mode_name(mode);
+        }
+        EXPECT_EQ(counters.double_destroys(), doubles_before)
+            << "double destroy under mode " << asym::mode_name(mode);
+    }
 }
 
 // -------------------------------------------------------------- watermarks

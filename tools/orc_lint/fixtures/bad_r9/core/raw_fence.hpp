@@ -1,0 +1,44 @@
+// Fixture: a second membarrier site and hand-rolled seq_cst slot publishes
+// — exactly what R9 forbids. Four diagnostics: the `membarrier` token, the
+// `syscall` token, the seq_cst hp store, and the seq_cst guard exchange.
+// The handover drain and the release publish below must stay silent (never
+// compiled — linted only).
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct Thread {
+    std::atomic<void*> hp[8];
+    std::atomic<void*> guard{nullptr};
+    std::atomic<void*> handovers[8];
+};
+
+inline long barrier_everyone() {
+    return membarrier(1 << 3, 0, 0);
+}
+
+inline long barrier_everyone_raw() {
+    return ::syscall(324, 1 << 3, 0, 0);
+}
+
+inline void publish(Thread& t, void* ptr, int idx) {
+    t.hp[idx].store(ptr, std::memory_order_seq_cst);
+}
+
+inline void* swap_guard(Thread& t, void* ptr) {
+    return t.guard.exchange(ptr, std::memory_order_seq_cst);
+}
+
+inline void* drain_one(Thread& t, int idx) {
+    // A handover is not a protection slot: draining stays seq_cst and clean.
+    return t.handovers[idx].exchange(nullptr, std::memory_order_seq_cst);
+}
+
+inline void publish_release(Thread& t, void* ptr, int idx) {
+    // The sanctioned shape (what asym::publish does internally).
+    t.hp[idx].store(ptr, std::memory_order_release);
+}
+
+}  // namespace fixture

@@ -22,6 +22,12 @@ struct alignas(kCacheLineSize) Slot {
 class Engine {
   public:
     void publish(void* ptr, int tid) {
+        // Release is enough here: the scan side's process-wide heavy fence
+        // supplies the ordering (R9 forbids a hand-rolled seq_cst publish).
+        tl_[tid].hp.store(ptr, std::memory_order_release);
+    }
+    void publish_pinned(void* ptr, int tid) {
+        // orc-lint: allow(R9) bootstrap publish before the fence mode resolves
         tl_[tid].hp.store(ptr, std::memory_order_seq_cst);
     }
     void* read(int tid) const { return tl_[tid].hp.load(std::memory_order_acquire); }

@@ -39,6 +39,18 @@
 //       read, and exports through the one registry. A stray shared counter
 //       is both a false-sharing hazard and an invisible metric. The layer
 //       itself (orc_metrics.hpp) is exempt.
+//   R9  the asymmetric-fence discipline (src/common/asym_fence.hpp) is the
+//       ONE place allowed to touch the membarrier syscall or to decide
+//       publish strength. Two sub-checks: (a) everywhere except
+//       asym_fence.{hpp,cpp}, no `membarrier`/`syscall` tokens — a second
+//       registration site or a raw barrier bypasses the mode resolver and
+//       its TSan/fallback degradations; (b) in src/core/ and
+//       src/reclamation/, no seq_cst .store()/.exchange() whose receiver
+//       names a protection slot (hp/he/guard/res/upper/lower/...) — slot
+//       publication goes through asym::publish(), which picks the per-mode
+//       strength; a hand-rolled seq_cst publish silently reverts that slot
+//       to the pre-asymmetric cost model. Handover/link exchanges are not
+//       publishes and stay seq_cst.
 //
 // Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
 // line (or put it alone on the line above). Multiple rules:
@@ -86,6 +98,8 @@ struct RuleSet {
     bool r6 = false;  // core/ engine files (minus make_orc.hpp)
     bool r7 = false;  // everywhere except core/ (the façade's own home)
     bool r8 = false;  // core/ and reclamation/ (minus the telemetry layer)
+    bool r9a = true;  // everywhere except common/asym_fence.{hpp,cpp}
+    bool r9b = false;  // core/ and reclamation/ only
 };
 
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
@@ -250,6 +264,8 @@ class FileLinter {
         if (rules_.r6) check_r6();
         if (rules_.r7) check_r7();
         if (rules_.r8) check_r8();
+        if (rules_.r9a) check_r9a();
+        if (rules_.r9b) check_r9b();
     }
 
   private:
@@ -486,6 +502,115 @@ class FileLinter {
                  "ad-hoc std::atomic counter '" + name +
                      "' — metrics in engine/reclamation code go through the telemetry "
                      "layer (telemetry::PerThreadCounters / SchemeMetrics / OrcMetrics)");
+        }
+    }
+
+    // ---- R9a: the membarrier syscall lives in asym_fence only -------------
+
+    void check_r9a() {
+        for (std::size_t li = 0; li < clean_lines_.size(); ++li) {
+            const std::string& line = clean_lines_[li];
+            const std::string t = trim(line);
+            if (!t.empty() && t[0] == '#') continue;  // includes name syscall.h
+            const int lineno = static_cast<int>(li) + 1;
+            bool hit = false;  // one diagnostic per line, however many tokens
+            // Exact tokens only: asym::membarrier_supported() and the
+            // Mode::kMembarrier enumerator are legal API surface; reaching
+            // the kernel needs the literal `syscall` (or a libc `membarrier`
+            // wrapper) token somewhere.
+            scan_tokens(line, [&](std::string_view tok, std::size_t /*col*/) {
+                if (hit) return;
+                if (tok == "syscall" || tok == "membarrier") {
+                    hit = true;
+                    emit("R9", lineno,
+                         "raw membarrier/syscall outside src/common/asym_fence — the "
+                         "fence facility owns registration, TSan degradation and the "
+                         "no-syscall fallback; go through asym::heavy()");
+                }
+            });
+        }
+    }
+
+    // ---- R9b: protection slots publish through asym::publish --------------
+
+    /// True if a receiver identifier reads as a protection slot. Matches on
+    /// '_'-split components, so `hp_local` and `new_guard` fire while
+    /// `handovers` and `link_` stay clean. upper/lower are in the set
+    /// because IBR's era slots are publishes too.
+    static bool protection_slot_name(const std::string& name) {
+        static const std::set<std::string> kSlots = {
+            "hp",    "he",          "guard", "guards", "res",  "reservation",
+            "upper", "lower",       "wm",    "slot",   "slots", "hazard",
+            "haz",   "reservations"};
+        std::string lower;
+        lower.reserve(name.size());
+        for (char c : name) {
+            lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        std::size_t b = 0;
+        while (b <= lower.size()) {
+            std::size_t e = lower.find('_', b);
+            if (e == std::string::npos) e = lower.size();
+            if (kSlots.count(lower.substr(b, e - b)) != 0) return true;
+            if (e == lower.size()) break;
+            b = e + 1;
+        }
+        return false;
+    }
+
+    /// Receiver identifier of a member call: `sep_begin` is the offset of
+    /// the '.' (or of the '-' in '->'); walks back over any `[...]` index
+    /// groups, then reads the trailing identifier (`t.hp[i]` -> "hp").
+    std::string receiver_name(std::size_t sep_begin) const {
+        std::size_t p = sep_begin;  // first char of '.' or '->'
+        while (true) {
+            while (p > 0 && std::isspace(static_cast<unsigned char>(clean_[p - 1]))) --p;
+            if (p > 0 && clean_[p - 1] == ']') {
+                int depth = 0;
+                std::size_t q = p;
+                while (q > 0) {
+                    --q;
+                    if (clean_[q] == ']') ++depth;
+                    else if (clean_[q] == '[' && --depth == 0) break;
+                }
+                if (depth != 0) return "";
+                p = q;
+                continue;
+            }
+            break;
+        }
+        std::size_t e = p;
+        while (p > 0 && is_ident_char(clean_[p - 1])) --p;
+        return clean_.substr(p, e - p);
+    }
+
+    void check_r9b() {
+        for (const char* op : {"store", "exchange"}) {
+            const std::string needle = std::string(op) + "(";
+            std::size_t pos = 0;
+            while ((pos = clean_.find(needle, pos)) != std::string::npos) {
+                const std::size_t call = pos;
+                pos += needle.size();
+                if (call == 0) continue;
+                const char prev = clean_[call - 1];
+                // Member call only; '_' before `exchange(` (compare_exchange_*)
+                // is rejected by the same test.
+                const bool dot = prev == '.';
+                const bool arrow = prev == '>' && call >= 2 && clean_[call - 2] == '-';
+                if (!dot && !arrow) continue;
+                const std::size_t open = call + std::strlen(op);
+                const std::size_t close = match_paren(clean_, open);
+                if (close == std::string::npos) continue;
+                const std::string args = clean_.substr(open + 1, close - open - 1);
+                if (args.find("memory_order_seq_cst") == std::string::npos) continue;
+                const std::size_t sep = arrow ? call - 2 : call - 1;
+                const std::string recv = receiver_name(sep);
+                if (recv.empty() || !protection_slot_name(recv)) continue;
+                emit("R9", line_of(call),
+                     std::string("seq_cst ") + op + "() to protection slot '" + recv +
+                         "' — publish through asym::publish() (release + scan-side "
+                         "asym::heavy()), not a hand-rolled seq_cst publish");
+            }
         }
     }
 
@@ -776,6 +901,13 @@ RuleSet rules_for_path(const std::string& generic_path) {
     // counter bypasses the registry.
     r.r8 = (core || generic_path.find("/reclamation/") != std::string::npos) &&
            generic_path.find("/orc_metrics.hpp") == std::string::npos;
+    // The fence facility is R9's single sanctioned home for the syscall and
+    // for publish-strength decisions; everywhere else both sub-rules apply
+    // (b only where protection slots live: the engine + the manual schemes).
+    const bool asym_home = generic_path.find("/common/asym_fence.") != std::string::npos;
+    r.r9a = !asym_home;
+    r.r9b = !asym_home &&
+            (core || generic_path.find("/reclamation/") != std::string::npos);
     // Client trees (tests/benches/examples) legitimately poke at marked
     // pointers and declare unpadded scratch arrays when exercising the
     // library; the memory-layout rules are library-discipline only.
@@ -809,7 +941,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: orc_lint [--root DIR]... [FILE]...\n"
-                         "Lints OrcGC reclamation discipline (rules R1-R8).\n");
+                         "Lints OrcGC reclamation discipline (rules R1-R9).\n");
             return 0;
         } else {
             inputs.emplace_back(argv[i]);

@@ -51,6 +51,11 @@ bool register_membarrier() noexcept {
 // teardown.
 std::atomic<std::uint64_t> g_heavy_membarrier{0};
 std::atomic<std::uint64_t> g_heavy_fence{0};
+// Membarrier calls that failed at runtime (post-registration, e.g. EPERM in
+// an mm the registration did not carry into) and fell back to a local
+// seq_cst thread fence. Counted separately so telemetry never reports a
+// process-wide barrier that was not actually issued.
+std::atomic<std::uint64_t> g_heavy_membarrier_fallback{0};
 
 class AsymFenceTelemetry final : public telemetry::MetricProvider {
   public:
@@ -70,6 +75,8 @@ class AsymFenceTelemetry final : public telemetry::MetricProvider {
         sink.counter("heavy_fences_membarrier",
                      g_heavy_membarrier.load(std::memory_order_relaxed));
         sink.counter("heavy_fences_fence", g_heavy_fence.load(std::memory_order_relaxed));
+        sink.counter("heavy_fences_membarrier_fallback",
+                     g_heavy_membarrier_fallback.load(std::memory_order_relaxed));
         sink.gauge("mode", static_cast<std::uint64_t>(mode()));
     }
 };
@@ -161,8 +168,18 @@ Mode resolve_mode() noexcept {
 void heavy() noexcept {
     switch (mode()) {
         case Mode::kMembarrier:
-            membarrier_call(kCmdPrivateExpedited);
-            g_heavy_membarrier.fetch_add(1, std::memory_order_relaxed);
+            if (membarrier_call(kCmdPrivateExpedited) == 0) [[likely]] {
+                g_heavy_membarrier.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                // Runtime failure after successful registration. A local
+                // seq_cst fence is the strongest fallback available here; it
+                // is weaker than the process-wide barrier, but combined with
+                // the readers' release publishes it restores the seed-level
+                // edge for any reader that itself fences (and the separate
+                // counter keeps the safety loss visible instead of silent).
+                std::atomic_thread_fence(std::memory_order_seq_cst);
+                g_heavy_membarrier_fallback.fetch_add(1, std::memory_order_relaxed);
+            }
             break;
         case Mode::kFence:
             std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -178,7 +195,8 @@ void heavy() noexcept {
 
 std::uint64_t heavy_fences() noexcept {
     return g_heavy_membarrier.load(std::memory_order_relaxed) +
-           g_heavy_fence.load(std::memory_order_relaxed);
+           g_heavy_fence.load(std::memory_order_relaxed) +
+           g_heavy_membarrier_fallback.load(std::memory_order_relaxed);
 }
 
 }  // namespace asym

@@ -25,11 +25,12 @@
 //
 //   membarrier  light() is a compiler barrier; heavy() is the membarrier
 //               syscall. The intended production mode.
-//   fence       two-sided fallback: publish is a seq_cst store (same
-//               instruction as the seed's exchange on x86), light()/heavy()
-//               are seq_cst thread fences. Used when the syscall is
-//               unavailable and under TSan, where the membarrier edge is
-//               invisible to the race detector (auto-selected there).
+//   fence       two-sided fallback: publish is a release store + seq_cst
+//               thread fence (light()/heavy() are both seq_cst thread
+//               fences), i.e. the classic store-buffering idiom with fences
+//               on both sides. Used when the syscall is unavailable and
+//               under TSan, where the membarrier edge is invisible to the
+//               race detector (auto-selected there).
 //   off         release publish with no fence at all. UNSAFE on weakly
 //               ordered hardware — exists only so benches can measure the
 //               upper bound of the possible gain. Never a default.
@@ -98,28 +99,23 @@ inline void light() noexcept {
     }
 }
 
-/// The one protection-publish idiom: store `value` into `slot` with the
-/// strength the resolved mode requires. Release + compiler barrier in
-/// membarrier/off mode; a seq_cst store in fence mode; the seed's full-fence
-/// exchange in seqcst mode.
+/// The one protection-publish idiom: a release store into `slot` followed by
+/// asym::light() — uniformly, in every mode except the seed-compat exchange.
+/// The trailing light() is load-bearing in fence mode: a seq_cst *store*
+/// followed by an acquire validation load of another location does not forbid
+/// store-load reordering in the C++ model (and is architecturally reorderable
+/// on ARMv8.3+ stlr/ldapr), so the two-sided fallback needs the thread fence
+/// to make publish-then-validate the SB idiom with fences on both sides —
+/// matching heavy()'s fence on the scan side. Only then may validation loads
+/// legitimately be acquire in every mode.
 template <typename T, typename V>
 inline void publish(std::atomic<T>& slot, V value) noexcept {
-    switch (mode()) {
-        case Mode::kSeqCst:
-            slot.exchange(static_cast<T>(value), std::memory_order_seq_cst);
-            return;
-        case Mode::kFence:
-            // Two-sided fallback: the seq_cst store alone is the complete
-            // publish-before-subsequent-loads edge, needs no fence modeling
-            // from TSan, and compiles to the same instruction as the seed's
-            // exchange on x86 (xchg) — so fence-vs-seed parity is exact
-            // rather than paying a separate mov+mfence pair.
-            slot.store(static_cast<T>(value), std::memory_order_seq_cst);
-            return;
-        default:
-            slot.store(static_cast<T>(value), std::memory_order_release);
-            std::atomic_signal_fence(std::memory_order_seq_cst);
+    if (mode() == Mode::kSeqCst) {
+        slot.exchange(static_cast<T>(value), std::memory_order_seq_cst);
+        return;
     }
+    slot.store(static_cast<T>(value), std::memory_order_release);
+    light();
 }
 
 /// Scan-side barrier: call ONCE per protection scan (hp snapshot, per-object

@@ -196,6 +196,12 @@ class BenchJsonRecorder {
     };
 
     BenchJsonRecorder() {
+        // The destructor exports the telemetry registry; constructing the
+        // registry first makes it outlive this recorder (statics die in
+        // reverse construction order). Without this, a recorder constructed
+        // before the first provider registration flushes into a destroyed
+        // registry at exit — unbounded garbage-map traversal, then abort.
+        telemetry::touch();
         if (const char* path = std::getenv("ORC_BENCH_JSON")) path_ = path;
     }
 

@@ -367,6 +367,8 @@ void unregister_provider(MetricProvider* provider) { Registry::instance().remove
 
 bool trace_requested() { return Registry::instance().trace_requested(); }
 
+void touch() { (void)Registry::instance(); }
+
 std::string export_json() { return Registry::instance().json(); }
 
 std::string export_prometheus() { return Registry::instance().prometheus(); }

@@ -386,6 +386,14 @@ class MetricProvider {
 void register_provider(MetricProvider* provider);
 void unregister_provider(MetricProvider* provider);
 
+/// Forces registry construction NOW. Any object whose destructor exports
+/// (export_json/export_prometheus at static-teardown time) must call this in
+/// its constructor: the registry is destroyed in reverse construction order,
+/// so an exporter constructed before it would outlive it and read a
+/// destroyed map (a real bench_publish_ablation teardown use-after-free —
+/// see BenchJsonRecorder).
+void touch();
+
 /// True when the ORC_TRACE environment variable requests event tracing
 /// (consulted by OrcMetrics at domain construction).
 bool trace_requested();

@@ -72,9 +72,14 @@ class orc_atomic {
         return orc_ptr<T>(ptr, idx, &dom);
     }
 
-    /// Unprotected raw read; acquire by default — validation comparisons and
-    /// quiescent contexts (constructors, destructors, tests) never need the
-    /// SC total order, and callers that do can pass seq_cst explicitly.
+    /// Unprotected raw read; acquire by default — quiescent contexts
+    /// (constructors, destructors, tests) never need the SC total order, and
+    /// callers that do can pass seq_cst explicitly. Validation comparisons
+    /// may also be acquire in *every* asym-fence mode: the publish they
+    /// validate always carries a trailing fence (asym::light() — a seq_cst
+    /// thread fence in fence mode, restored process-wide by the scan's
+    /// asym::heavy() in membarrier mode), so the publish-store cannot
+    /// reorder past this load.
     T load_unsafe(std::memory_order order = std::memory_order_acquire) const noexcept {
         return link_.load(order);
     }

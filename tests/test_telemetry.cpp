@@ -29,12 +29,27 @@
 #include <thread>
 #include <vector>
 
+#include "common/bench_harness.hpp"
 #include "common/telemetry.hpp"
 #include "core/orc.hpp"
 #include "reclamation/hazard_pointers.hpp"
 
 namespace orcgc {
 namespace {
+
+// Static-teardown ordering regression probe (runs at process scope, not as a
+// TEST): constructed during static initialization of this TU, BEFORE any
+// telemetry provider registers (domains and schemes are all lazy), exactly
+// the order bench binaries create with `--json`. The recorder's destructor
+// exports the registry at exit; without telemetry::touch() in its
+// constructor, the registry — constructed later, on the first registration a
+// test below triggers — is destroyed first, and the exit flush walks a
+// destroyed std::map (the bench_publish_ablation teardown use-after-free).
+// A regression crashes this binary at exit under the ASan ctest leg.
+[[maybe_unused]] const bool g_flush_ordering_probe = [] {
+    BenchJsonRecorder::instance().enable("orcgc_test_flush_ordering.json");
+    return true;
+}();
 
 using telemetry::HistogramSnapshot;
 using telemetry::LogHistogram;
@@ -277,14 +292,22 @@ TEST(OrcMetricsTest, SnapshotAndResetRaceSafelyWithLiveChurn) {
             }
         });
     }
-    // Reader hammers snapshot/reset against the live hooks: each increment
-    // must land wholly in a pre- or post-reset total (exchange-based drain),
-    // and snapshots must never tear a field.
+    // Reader hammers snapshot/reset against the live hooks. reset() is
+    // documented exact-only-at-quiescence: a drain racing a live hook can
+    // split a retire from its later free across the reset boundary, so no
+    // tight transient inequality between the two holds mid-race. What must
+    // hold is that no field is ever torn or runaway — every value stays
+    // within the total churn this test can generate. (TSan covers the
+    // data-race side; exact conservation is asserted at join points in
+    // EveryRetireTokenIsAccountedForAtQuiescence and below.)
     std::thread reader([&] {
+        constexpr std::uint64_t kSane = 1u << 20;  // far above 4x3000 creates
         while (!stop.load(std::memory_order_acquire)) {
             const OrcMetrics::Snapshot s = domain->metrics().snapshot();
-            EXPECT_GE(s.retired + s.resurrected + 1, s.freed_batch + s.freed_slow)
-                << "frees can only transiently outrun retires by in-flight deltas";
+            EXPECT_LT(s.retired, kSane) << "torn or runaway retired counter";
+            EXPECT_LT(s.freed_batch + s.freed_slow, kSane)
+                << "torn or runaway free counters";
+            EXPECT_LT(s.resurrected, kSane) << "torn or runaway resurrected counter";
             domain->metrics().reset();
         }
     });

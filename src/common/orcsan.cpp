@@ -1,0 +1,557 @@
+// OrcSan implementation: the shadow table, the per-domain quarantine, and
+// the violation reporter (model in orcsan.hpp; design in DESIGN.md §1.9).
+//
+// Layering: this file may see the whole engine (it includes orc_domain.hpp
+// for the protection-slot coverage scan), but the engine sees only the hook
+// declarations in orcsan.hpp — no cycle.
+//
+// Locking: the shadow table is sharded by object address (64 shards, one
+// mutex each); the quarantine has its own mutex. Eviction runs shadow
+// transitions while holding the quarantine mutex — the order is always
+// quarantine -> shard, never the reverse, so there is no cycle. No orcsan
+// lock is ever held across user code (destructors run between
+// divert_eligible and quarantine_put, outside both).
+//
+// This is diagnostic machinery, deliberately simple: std::unordered_map
+// under a mutex, not a lock-free table. OrcSan is a debug build
+// (EXPERIMENTS.md records the overhead); correctness of the *reports* is
+// what matters here.
+
+#include "common/orcsan.hpp"
+
+#ifdef ORCGC_ORCSAN
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+
+#include "common/fatal.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_registry.hpp"
+#include "core/orc_domain.hpp"
+
+namespace orcgc {
+namespace orcsan {
+namespace {
+
+constexpr std::size_t kShards = 64;
+constexpr int kHistory = 8;
+constexpr unsigned char kPoison = 0xDD;
+constexpr std::uint64_t kCanarySalt = 0xA11C0A7EDC0DEC0DULL;
+
+/// The canary is a function of the allocation address, so a block copied
+/// over another block's quarantined memory still tears it.
+std::uint64_t canary_for(const void* mem) noexcept {
+    return kCanarySalt ^ reinterpret_cast<std::uintptr_t>(mem);
+}
+
+struct Transition {
+    std::uint64_t tsc = 0;
+    std::int32_t tid = -1;
+    State from = State::kUnknown;
+    State to = State::kUnknown;
+};
+
+struct Entry {
+    State state = State::kUnknown;
+    std::uint32_t size = 0;   ///< 0 = unknown extent (auto-registered at retire)
+    std::uint32_t align = 0;  ///< alignof(T) at make_orc; picks the delete overload
+    const OrcDomain* domain = nullptr;
+    std::uint64_t canary = 0;
+    Transition history[kHistory];
+    std::uint8_t hist_len = 0;   ///< filled slots (caps at kHistory)
+    std::uint8_t hist_next = 0;  ///< ring write cursor
+
+    void record(State to) noexcept {
+        Transition& t = history[hist_next];
+        t.tsc = telemetry::now_tsc();
+        // Read-only TLS peek, not thread_id(): transitions also run during
+        // static teardown (the global domain flushing its quarantine), after
+        // the main thread's slot was released — lazy re-registration there
+        // would re-run the exit hooks. -1 decodes as "unregistered thread".
+        t.tid = tl_thread_id;
+        t.from = state;
+        t.to = to;
+        hist_next = static_cast<std::uint8_t>((hist_next + 1) % kHistory);
+        if (hist_len < kHistory) ++hist_len;
+        state = to;
+    }
+};
+
+struct Shard {
+    std::mutex mu;
+    std::unordered_map<const void*, Entry> map;
+};
+
+struct QuarantineItem {
+    const void* key = nullptr;  ///< shadow-table key (the orc_base address)
+    void* mem = nullptr;        ///< allocation address (what operator delete gets)
+    std::uint32_t size = 0;
+    std::uint32_t align = 0;
+};
+
+class Sanitizer;
+
+/// The telemetry face of the sanitizer: violation counters plus the
+/// quarantine gauges, reported under the "orcsan" source name.
+class OrcsanMetrics final : public telemetry::MetricProvider {
+  public:
+    explicit OrcsanMetrics(const Sanitizer& owner) : owner_(owner) {
+        if constexpr (telemetry::kTelemetryEnabled) telemetry::register_provider(this);
+    }
+    ~OrcsanMetrics() {
+        if constexpr (telemetry::kTelemetryEnabled) telemetry::unregister_provider(this);
+    }
+    OrcsanMetrics(const OrcsanMetrics&) = delete;
+    OrcsanMetrics& operator=(const OrcsanMetrics&) = delete;
+
+    const char* telemetry_name() const noexcept override { return "orcsan"; }
+    telemetry::CommonCounters common_counters() const override;
+    void visit_extras(telemetry::MetricSink& sink) const override;
+
+  private:
+    const Sanitizer& owner_;
+};
+
+class Sanitizer {
+  public:
+    Sanitizer() {
+        if (const char* v = std::getenv("ORC_ORCSAN_QUARANTINE")) {
+            const long n = std::atol(v);
+            if (n >= 0) quarantine_cap_ = static_cast<std::size_t>(n);
+        }
+        if (const char* v = std::getenv("ORC_ORCSAN_ABORT")) {
+            abort_ = !(v[0] == '0' && v[1] == '\0');
+        }
+    }
+
+    ~Sanitizer() {
+        // Whatever is still quarantined belongs to domains that never died
+        // (leaked allocations at process exit). Return the memory so ASan's
+        // leak checker stays quiet about *our* diversion.
+        std::lock_guard<std::mutex> lock(qmu_);
+        for (auto& [dom, ring] : quarantines_) {
+            (void)dom;
+            for (QuarantineItem& item : ring) release_item(item);
+        }
+        quarantines_.clear();
+    }
+
+    // ---- lifecycle -------------------------------------------------------
+
+    void on_alloc(const orc_base* obj, std::size_t size, std::size_t align,
+                  const OrcDomain* domain) {
+        Shard& s = shard_of(obj);
+        std::lock_guard<std::mutex> lock(s.mu);
+        // A recycled address whose previous tenant was freed was erased on
+        // free; a *live* collision is impossible, so a leftover entry can
+        // only be a stale auto-registration — start fresh either way.
+        Entry& e = s.map[obj];
+        e = Entry{};
+        e.size = static_cast<std::uint32_t>(size);
+        e.align = static_cast<std::uint32_t>(align);
+        e.domain = domain;
+        e.canary = canary_for(obj);
+        e.record(State::kLive);
+        allocated_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void on_retire(const void* obj) {
+        Shard& s = shard_of(obj);
+        std::unique_lock<std::mutex> lock(s.mu);
+        Entry& e = s.map[obj];  // auto-registers unknown objects as kUnknown
+        if (e.state == State::kRetired || e.state == State::kQuarantined ||
+            e.state == State::kFreed) {
+            report(lock, "double_retire", double_retire_, obj, &e,
+                   "a second retire token was taken for an object that is already "
+                   "retired — the object would be freed twice");
+            return;
+        }
+        e.record(State::kRetired);
+        retired_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void on_resurrect(const void* obj) {
+        Shard& s = shard_of(obj);
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(obj);
+        if (it == s.map.end()) return;
+        it->second.record(State::kLive);
+    }
+
+    bool divert_eligible(const orc_base* obj) {
+        Shard& s = shard_of(obj);
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(obj);
+        return it != s.map.end() && it->second.size != 0;
+    }
+
+    void quarantine_put(const OrcDomain* domain, const void* obj, void* mem) {
+        std::uint32_t size = 0;
+        std::uint32_t align = 0;
+        {
+            Shard& s = shard_of(obj);
+            std::lock_guard<std::mutex> lock(s.mu);
+            auto it = s.map.find(obj);
+            if (it == s.map.end()) return;  // raced with nothing — defensive
+            it->second.record(State::kQuarantined);
+            size = it->second.size;
+            align = it->second.align;
+            // Stamp + poison while the entry lock pins the metadata: canary
+            // word first, 0xDD over the rest of the block. The destructor
+            // already ran, so nothing legitimate reads this memory again.
+            unsigned char* bytes = static_cast<unsigned char*>(mem);
+            std::size_t poison_from = 0;
+            if (size >= sizeof(std::uint64_t)) {
+                const std::uint64_t canary = it->second.canary;
+                std::memcpy(bytes, &canary, sizeof(canary));
+                poison_from = sizeof(canary);
+            }
+            std::memset(bytes + poison_from, kPoison, size - poison_from);
+        }
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+
+        QuarantineItem evicted[4];
+        std::size_t evicted_n = 0;
+        {
+            std::lock_guard<std::mutex> lock(qmu_);
+            auto& ring = quarantines_[domain];
+            ring.push_back(QuarantineItem{obj, mem, size, align});
+            const std::uint64_t occ =
+                occupancy_.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::uint64_t peak = peak_occupancy_.load(std::memory_order_relaxed);
+            while (occ > peak && !peak_occupancy_.compare_exchange_weak(
+                                     peak, occ, std::memory_order_relaxed)) {
+            }
+            while (ring.size() > quarantine_cap_ && evicted_n < 4) {
+                evicted[evicted_n++] = ring.front();
+                ring.pop_front();
+                occupancy_.fetch_sub(1, std::memory_order_relaxed);
+            }
+        }
+        // Verify + free outside the quarantine mutex: eviction takes shard
+        // locks and may fatal with a decoded history.
+        for (std::size_t i = 0; i < evicted_n; ++i) release_item(evicted[i]);
+    }
+
+    void quarantine_flush(const OrcDomain* domain) {
+        std::deque<QuarantineItem> ring;
+        {
+            std::lock_guard<std::mutex> lock(qmu_);
+            auto it = quarantines_.find(domain);
+            if (it == quarantines_.end()) return;
+            ring.swap(it->second);
+            quarantines_.erase(it);
+            occupancy_.fetch_sub(ring.size(), std::memory_order_relaxed);
+        }
+        for (QuarantineItem& item : ring) release_item(item);
+    }
+
+    void on_untracked_free(const void* obj) {
+        Shard& s = shard_of(obj);
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.map.erase(obj);
+    }
+
+    // ---- checks ----------------------------------------------------------
+
+    void check_deref(const orc_base* obj, const OrcDomain* dom) {
+        Shard& s = shard_of(obj);
+        std::unique_lock<std::mutex> lock(s.mu);
+        auto it = s.map.find(obj);
+        if (it == s.map.end() || it->second.state == State::kLive) return;
+        // Not Live: legal only while a published protection slot covers the
+        // object (a retired-but-protected node mid-traversal is the normal
+        // hazard-pointer race). The scan takes no orcsan locks.
+        Entry snapshot = it->second;
+        lock.unlock();
+        const OrcDomain* owner = dom != nullptr ? dom : snapshot.domain;
+        if (owner != nullptr && owner->orcsan_covers(obj)) return;
+        std::unique_lock<std::mutex> relock(s.mu);
+        report(relock, "unprotected_deref", unprotected_deref_, obj, &snapshot,
+               "dereference of a non-Live object with no published protection "
+               "slot covering it");
+    }
+
+    void check_link(const orc_base* obj) {
+        // Coverage is judged in the object's OWN domain (domain_of routing):
+        // that is where its protections live and where retire scans look.
+        const OrcDomain* od = obj->_orc_dom;
+        check_deref(obj, od != nullptr ? od : &OrcDomain::global());
+    }
+
+    void check_retire_domain(const OrcDomain* retiring, const OrcDomain* owner,
+                             const void* obj) {
+        if (retiring == owner) return;
+        Shard& s = shard_of(obj);
+        std::unique_lock<std::mutex> lock(s.mu);
+        auto it = s.map.find(obj);
+        Entry snapshot = it != s.map.end() ? it->second : Entry{};
+        report(lock, "cross_domain_retire", cross_domain_retire_, obj, &snapshot,
+               "retire routed to a domain that does not own the object — its "
+               "protections live in another domain's hp slots and the scan "
+               "here can never find them");
+    }
+
+    void check_protect(const void* obj) {
+        Shard& s = shard_of(obj);
+        std::unique_lock<std::mutex> lock(s.mu);
+        auto it = s.map.find(obj);
+        if (it == s.map.end()) return;
+        const State st = it->second.state;
+        if (st != State::kQuarantined && st != State::kFreed) return;
+        report(lock, "unprotected_deref", unprotected_deref_, obj, &it->second,
+               "protection validated against an object that was already freed "
+               "— the publish came after reclamation");
+    }
+
+    void on_manual_retire(const void* obj) { on_retire(obj); }
+
+    void on_manual_free(const void* obj) {
+        Shard& s = shard_of(obj);
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(obj);
+        if (it != s.map.end()) s.map.erase(it);
+        freed_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // ---- introspection ---------------------------------------------------
+
+    Stats stats_snapshot() const {
+        Stats st;
+        st.allocated = allocated_.load(std::memory_order_relaxed);
+        st.retired = retired_.load(std::memory_order_relaxed);
+        st.quarantined = quarantined_.load(std::memory_order_relaxed);
+        st.freed = freed_.load(std::memory_order_relaxed);
+        st.double_retire = double_retire_.load(std::memory_order_relaxed);
+        st.unprotected_deref = unprotected_deref_.load(std::memory_order_relaxed);
+        st.poison_torn = poison_torn_.load(std::memory_order_relaxed);
+        st.cross_domain_retire = cross_domain_retire_.load(std::memory_order_relaxed);
+        st.quarantine_occupancy = occupancy_.load(std::memory_order_relaxed);
+        st.quarantine_peak = peak_occupancy_.load(std::memory_order_relaxed);
+        return st;
+    }
+
+    std::size_t live_entries() {
+        std::size_t total = 0;
+        for (Shard& s : shards_) {
+            std::lock_guard<std::mutex> lock(s.mu);
+            total += s.map.size();
+        }
+        return total;
+    }
+
+    State state_of(const void* obj) {
+        Shard& s = shard_of(obj);
+        std::lock_guard<std::mutex> lock(s.mu);
+        auto it = s.map.find(obj);
+        return it == s.map.end() ? State::kUnknown : it->second.state;
+    }
+
+    void set_abort(bool abort_on_violation) { abort_ = abort_on_violation; }
+
+  private:
+    Shard& shard_of(const void* obj) noexcept {
+        const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(obj);
+        // Objects are at least 16-byte granular; fold the high bits in so
+        // arena-adjacent addresses spread.
+        return shards_[((a >> 4) ^ (a >> 16)) % kShards];
+    }
+
+    /// Verifies a quarantined block's canary + poison and returns its memory
+    /// to the allocator. The shadow entry moves Quarantined -> Freed and is
+    /// erased (the address may be reused the instant operator delete runs).
+    void release_item(QuarantineItem& item) {
+        const unsigned char* bytes = static_cast<const unsigned char*>(item.mem);
+        std::size_t torn_at = SIZE_MAX;
+        std::size_t check_from = 0;
+        if (item.size >= sizeof(std::uint64_t)) {
+            std::uint64_t stored = 0;
+            std::memcpy(&stored, bytes, sizeof(stored));
+            if (stored != canary_for(item.key)) torn_at = 0;
+            check_from = sizeof(stored);
+        }
+        for (std::size_t i = check_from; torn_at == SIZE_MAX && i < item.size; ++i) {
+            if (bytes[i] != kPoison) torn_at = i;
+        }
+        {
+            Shard& s = shard_of(item.key);
+            std::unique_lock<std::mutex> lock(s.mu);
+            auto it = s.map.find(item.key);
+            if (torn_at != SIZE_MAX) {
+                char detail[160];
+                std::snprintf(detail, sizeof(detail),
+                              "quarantined block written after free (offset %zu of "
+                              "%u) — a use-after-free WRITE by uninstrumented code",
+                              torn_at, item.size);
+                Entry snapshot = it != s.map.end() ? it->second : Entry{};
+                report(lock, "poison_torn", poison_torn_, item.key, &snapshot, detail);
+                if (!lock.owns_lock()) lock.lock();  // report returned in non-abort mode
+            }
+            if (it != s.map.end()) {
+                it->second.record(State::kFreed);
+                s.map.erase(it);
+            }
+        }
+        freed_.fetch_add(1, std::memory_order_relaxed);
+        // Pair with the overload the new-expression in make_orc selected: an
+        // over-aligned T was allocated via operator new(size, align_val_t),
+        // and ASan's new-delete-type-mismatch check requires the free side
+        // to match.
+        if (item.align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+            ::operator delete(item.mem, std::align_val_t(item.align));
+        } else {
+            ::operator delete(item.mem);
+        }
+        item.mem = nullptr;
+    }
+
+    /// Builds the decoded report, bumps the violation counter, and either
+    /// aborts (default) or logs. Drops `lock` before fatal() so the abort
+    /// handler can never self-deadlock on a shard mutex.
+    void report(std::unique_lock<std::mutex>& lock, const char* kind,
+                std::atomic<std::uint64_t>& counter, const void* obj, const Entry* e,
+                const char* detail) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        char msg[1024];
+        int n = std::snprintf(msg, sizeof(msg),
+                              "orcsan: %s: object %p (state=%s, size=%u, domain=%p)\n"
+                              "  %s\n"
+                              "  shadow history (oldest first, tsc ticks):",
+                              kind, obj, e != nullptr ? state_name(e->state) : "Unknown",
+                              e != nullptr ? e->size : 0,
+                              e != nullptr ? static_cast<const void*>(e->domain) : nullptr,
+                              detail);
+        if (e != nullptr && n > 0) {
+            const int len = e->hist_len;
+            const int first = (e->hist_next + kHistory - len) % kHistory;
+            for (int i = 0; i < len && n < static_cast<int>(sizeof(msg)); ++i) {
+                const Transition& t = e->history[(first + i) % kHistory];
+                n += std::snprintf(msg + n, sizeof(msg) - static_cast<std::size_t>(n),
+                                   "\n    [tid %d @ %llu] %s -> %s", t.tid,
+                                   static_cast<unsigned long long>(t.tsc),
+                                   state_name(t.from), state_name(t.to));
+            }
+        }
+        if (lock.owns_lock()) lock.unlock();
+        if (abort_) fatal("%s", msg);
+        std::fprintf(stderr, "%s\n", msg);
+    }
+
+    friend class OrcsanMetrics;
+
+    Shard shards_[kShards];
+
+    std::mutex qmu_;
+    std::unordered_map<const OrcDomain*, std::deque<QuarantineItem>> quarantines_;
+    std::size_t quarantine_cap_ = 64;
+    bool abort_ = true;
+
+    std::atomic<std::uint64_t> allocated_{0};
+    std::atomic<std::uint64_t> retired_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
+    std::atomic<std::uint64_t> freed_{0};
+    std::atomic<std::uint64_t> double_retire_{0};
+    std::atomic<std::uint64_t> unprotected_deref_{0};
+    std::atomic<std::uint64_t> poison_torn_{0};
+    std::atomic<std::uint64_t> cross_domain_retire_{0};
+    std::atomic<std::uint64_t> occupancy_{0};
+    std::atomic<std::uint64_t> peak_occupancy_{0};
+
+    OrcsanMetrics metrics_{*this};
+};
+
+telemetry::CommonCounters OrcsanMetrics::common_counters() const {
+    const Stats st = owner_.stats_snapshot();
+    telemetry::CommonCounters c;
+    c.retired = st.retired;
+    c.freed = st.freed;
+    c.peak_unreclaimed = st.quarantine_peak;
+    return c;
+}
+
+void OrcsanMetrics::visit_extras(telemetry::MetricSink& sink) const {
+    const Stats st = owner_.stats_snapshot();
+    sink.counter("double_retire", st.double_retire);
+    sink.counter("unprotected_deref", st.unprotected_deref);
+    sink.counter("poison_torn", st.poison_torn);
+    sink.counter("cross_domain_retire", st.cross_domain_retire);
+    sink.gauge("quarantine_occupancy", st.quarantine_occupancy);
+    sink.gauge("quarantine_peak", st.quarantine_peak);
+}
+
+Sanitizer& san() {
+    // Function-local static: completes construction inside the first caller
+    // (OrcDomain's constructor via touch()), hence is destroyed after the
+    // global domain — whose destructor still flushes its quarantine here.
+    static Sanitizer s;
+    return s;
+}
+
+}  // namespace
+
+void touch() { (void)san(); }
+
+void on_alloc(const orc_base* obj, std::size_t size, std::size_t align,
+              const OrcDomain* domain) {
+    san().on_alloc(obj, size, align, domain);
+}
+
+void on_retire(const void* obj) { san().on_retire(obj); }
+
+void on_resurrect(const void* obj) { san().on_resurrect(obj); }
+
+bool divert_eligible(const orc_base* obj) { return san().divert_eligible(obj); }
+
+void quarantine_put(const OrcDomain* domain, const void* obj, void* mem) {
+    san().quarantine_put(domain, obj, mem);
+}
+
+void quarantine_flush(const OrcDomain* domain) { san().quarantine_flush(domain); }
+
+void on_untracked_free(const void* obj) { san().on_untracked_free(obj); }
+
+void check_deref(const orc_base* obj, const OrcDomain* dom) { san().check_deref(obj, dom); }
+
+void check_link(const orc_base* obj) { san().check_link(obj); }
+
+void check_retire_domain(const OrcDomain* retiring, const OrcDomain* owner, const void* obj) {
+    san().check_retire_domain(retiring, owner, obj);
+}
+
+void check_protect(const void* obj) { san().check_protect(obj); }
+
+void on_manual_retire(const void* obj) { san().on_manual_retire(obj); }
+
+void on_manual_free(const void* obj) { san().on_manual_free(obj); }
+
+Stats stats() { return san().stats_snapshot(); }
+
+std::size_t live_entries() { return san().live_entries(); }
+
+State state_of(const void* obj) { return san().state_of(obj); }
+
+namespace testing {
+void set_abort(bool abort_on_violation) { san().set_abort(abort_on_violation); }
+}  // namespace testing
+
+}  // namespace orcsan
+}  // namespace orcgc
+
+#else  // !ORCGC_ORCSAN
+
+// The library compiles this TU in every configuration; keep it non-empty.
+namespace orcgc {
+namespace orcsan {
+namespace detail {
+const int kOrcsanDisabled = 0;
+}  // namespace detail
+}  // namespace orcsan
+}  // namespace orcgc
+
+#endif  // ORCGC_ORCSAN

@@ -1,0 +1,222 @@
+// OrcSan: the reclamation sanitizer (DESIGN.md §1.9).
+//
+// ASan reports a heap-use-after-free long after the reclamation-discipline
+// violation that caused it; orc-lint (R1–R10) sees tokens, not runtime
+// state. OrcSan closes the gap with a per-object *shadow state machine*
+// keyed off the orc_base header:
+//
+//        on_alloc          on_retire            divert (destroy)
+//   ───────────▶  Live  ─────────────▶ Retired ─────────────▶ Quarantined
+//                  ▲                      │                        │
+//                  └──────────────────────┘                        ▼ evict
+//                       on_resurrect                             Freed
+//
+// Every transition is recorded in a small per-object history ring (thread
+// id, rdtsc, from → to), so a violation report names the invariant AND
+// shows who retired the object, who freed it, and who touched it after.
+//
+// Violation classes (each a counter on the "orcsan" telemetry provider):
+//   double_retire        a retire transition on an already-Retired object
+//   unprotected_deref    a deref (orc_ptr), link store (orc_atomic) or
+//                        validated protection (manual schemes) whose target
+//                        is not Live and not covered by any published
+//                        protection slot
+//   poison_torn          the 0xDD fill / canary of a quarantined block was
+//                        overwritten before eviction — a latent UAF *write*,
+//                        caught even when the racing access itself ran
+//                        uninstrumented (the memory is still allocated, so
+//                        ASan is blind to it)
+//   cross_domain_retire  a retire routed to a domain that does not own the
+//                        object (bypassed domain_of routing)
+//
+// The domain free path diverts objects into a bounded per-domain quarantine
+// ring instead of deleting: the destructor runs immediately (cascades and
+// tracked-object accounting are unchanged), then the block is canary-stamped
+// and poisoned, and only on eviction — ring overflow or domain destruction —
+// is the memory verified and returned to the allocator.
+//
+// Environment:
+//   ORC_ORCSAN_QUARANTINE=<n>  per-domain quarantine capacity (default 64)
+//   ORC_ORCSAN_ABORT=0         report violations to stderr and keep going
+//                              (default: fatal() — abort on first violation)
+//
+// Everything here compiles to nothing unless -DORCGC_ORCSAN=ON (CMake);
+// the default-OFF hot path is bit-identical to a build without this header.
+// OrcSan composes with ASan/UBSan but not TSan (CMake hard-errors): the
+// quarantine diversion changes the happens-before shape TSan models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace orcgc {
+
+struct orc_base;
+class OrcDomain;
+
+namespace orcsan {
+
+#ifdef ORCGC_ORCSAN
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Shadow lifecycle states. kUnknown is the decoded form of "no entry":
+/// objects allocated behind make_orc's back (stack fixtures, manual-scheme
+/// nodes) enter the machine at their first retire.
+enum class State : std::uint8_t {
+    kUnknown = 0,
+    kLive = 1,
+    kRetired = 2,
+    kQuarantined = 3,
+    kFreed = 4,
+};
+
+inline const char* state_name(State s) noexcept {
+    switch (s) {
+        case State::kUnknown: return "Unknown";
+        case State::kLive: return "Live";
+        case State::kRetired: return "Retired";
+        case State::kQuarantined: return "Quarantined";
+        case State::kFreed: return "Freed";
+    }
+    return "?";
+}
+
+/// Point-in-time totals, exposed for tests (the telemetry provider reports
+/// the same quantities process-wide). All monotonic except the occupancy.
+struct Stats {
+    std::uint64_t allocated = 0;       ///< shadow registrations (make_orc)
+    std::uint64_t retired = 0;         ///< Live/Unknown -> Retired transitions
+    std::uint64_t quarantined = 0;     ///< Retired -> Quarantined diversions
+    std::uint64_t freed = 0;           ///< blocks returned to the allocator
+    std::uint64_t double_retire = 0;
+    std::uint64_t unprotected_deref = 0;
+    std::uint64_t poison_torn = 0;
+    std::uint64_t cross_domain_retire = 0;
+    std::uint64_t quarantine_occupancy = 0;  ///< current, across all domains
+    std::uint64_t quarantine_peak = 0;
+};
+
+#ifdef ORCGC_ORCSAN
+
+// ---- lifecycle hooks (definitions in orcsan.cpp) --------------------------
+
+/// Forces shadow-table construction NOW. OrcDomain's constructor calls this
+/// so the table outlives the global domain (same static-teardown ordering
+/// argument as telemetry::touch()).
+void touch();
+
+/// make_orc_in: registers the object Live and stamps its canary (the value
+/// is fixed at allocation; the quarantine writes it into the block at
+/// diversion and verifies it at eviction). `align` is alignof(T): eviction
+/// must call the same operator delete overload the new-expression paired
+/// with, so over-aligned blocks (cache-line-padded rings) are returned via
+/// the aligned form — ASan's new-delete-type-mismatch check enforces this.
+void on_alloc(const orc_base* obj, std::size_t size, std::size_t align,
+              const OrcDomain* domain);
+
+/// A retire token was taken (any of the engine's four token sites, or a
+/// manual scheme's retire()). Live/Unknown -> Retired; an already-Retired
+/// (or later) state is a double_retire violation.
+void on_retire(const void* obj);
+
+/// The engine dropped the retire token for good (Algorithm 6 resurrection):
+/// Retired -> Live.
+void on_resurrect(const void* obj);
+
+/// True iff the object is registered with a known size — i.e. the domain
+/// free path should divert it into the quarantine. Objects allocated behind
+/// make_orc's back (unknown extent) must fall back to plain delete; their
+/// shadow entry, if any, is dropped via on_untracked_free.
+bool divert_eligible(const orc_base* obj);
+
+/// Parks a destroyed object's memory in `domain`'s quarantine ring:
+/// Retired -> Quarantined, canary stamp + 0xDD payload fill, and eviction
+/// of the oldest entry once the ring exceeds ORC_ORCSAN_QUARANTINE.
+/// `mem` is the allocation address (dynamic_cast<void*> BEFORE the
+/// destructor ran); the destructor must already have run.
+void quarantine_put(const OrcDomain* domain, const void* obj, void* mem);
+
+/// Evicts (verifies + frees) everything `domain` still holds. Called by
+/// ~OrcDomain after the drain protocol proved quiescence.
+void quarantine_flush(const OrcDomain* domain);
+
+/// Erases the shadow entry of an object freed outside the quarantine (the
+/// global domain's lenient teardown sweep, untracked objects).
+void on_untracked_free(const void* obj);
+
+// ---- checks ---------------------------------------------------------------
+
+/// orc_ptr deref: the target must be Live, or covered by a published hp
+/// slot of `dom` (any thread — protections may legitimately outlive their
+/// creating scope under copy/move). Violation: unprotected_deref.
+void check_deref(const orc_base* obj, const OrcDomain* dom);
+
+/// orc_atomic store/cas/exchange: the *new* value must be protected by the
+/// caller at the moment of the call (the paper's contract). Same predicate
+/// as check_deref against the object's own domain.
+void check_link(const orc_base* obj);
+
+/// A retire is being run by `retiring` on an object owned by `owner`.
+/// Violation: cross_domain_retire (the scan would walk the wrong domain's
+/// hp slots — a protection there could never be found).
+void check_retire_domain(const OrcDomain* retiring, const OrcDomain* owner, const void* obj);
+
+/// Manual schemes, after a successful protect/validate: a target the shadow
+/// machine knows to be Quarantined or Freed can only mean the protection
+/// came too late. Live/Retired/Unknown pass (the benign validate race).
+void check_protect(const void* obj);
+
+/// A manual scheme's retire(). Same transition as on_retire.
+void on_manual_retire(const void* obj);
+
+/// A manual scheme is about to `delete obj`: Retired -> Freed, and the
+/// entry is erased (the allocator may reuse the address immediately).
+void on_manual_free(const void* obj);
+
+// ---- introspection (tests) ------------------------------------------------
+
+Stats stats();
+
+/// Shadow entries currently in the table (conservation: a domain that
+/// allocated N objects and was destroyed leaves the count unchanged).
+std::size_t live_entries();
+
+/// Decoded state of one object (kUnknown when unregistered).
+State state_of(const void* obj);
+
+namespace testing {
+/// Downgrades violations from fatal() to stderr reports so a test can
+/// assert on counters in-process. Death tests use the default abort mode.
+void set_abort(bool abort_on_violation);
+}  // namespace testing
+
+#else  // !ORCGC_ORCSAN — every hook is an empty inline, erased at -O0 even.
+
+inline void touch() noexcept {}
+inline void on_alloc(const orc_base*, std::size_t, std::size_t, const OrcDomain*) noexcept {}
+inline void on_retire(const void*) noexcept {}
+inline void on_resurrect(const void*) noexcept {}
+inline bool divert_eligible(const orc_base*) noexcept { return false; }
+inline void quarantine_put(const OrcDomain*, const void*, void*) noexcept {}
+inline void quarantine_flush(const OrcDomain*) noexcept {}
+inline void on_untracked_free(const void*) noexcept {}
+inline void check_deref(const orc_base*, const OrcDomain*) noexcept {}
+inline void check_link(const orc_base*) noexcept {}
+inline void check_retire_domain(const OrcDomain*, const OrcDomain*, const void*) noexcept {}
+inline void check_protect(const void*) noexcept {}
+inline void on_manual_retire(const void*) noexcept {}
+inline void on_manual_free(const void*) noexcept {}
+inline Stats stats() noexcept { return {}; }
+inline std::size_t live_entries() noexcept { return 0; }
+inline State state_of(const void*) noexcept { return State::kUnknown; }
+namespace testing {
+inline void set_abort(bool) noexcept {}
+}  // namespace testing
+
+#endif  // ORCGC_ORCSAN
+
+}  // namespace orcsan
+}  // namespace orcgc

@@ -17,6 +17,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/orcsan.hpp"
 #include "core/orc_base.hpp"
 #include "core/orc_domain.hpp"
 #include "core/orc_ptr.hpp"
@@ -32,6 +33,11 @@ orc_ptr<T*> make_orc_in(OrcDomain& domain, Args&&... args) {
     // object can be found by other threads, and _orc_dom must already be set.
     base->_orc_dom = &domain;
     domain.note_tracked_allocation();
+#ifdef ORCGC_ORCSAN
+    // Shadow registration: state Live, extent sizeof(T), canary stamped for
+    // the eventual quarantine verification (orcsan.hpp).
+    orcsan::on_alloc(base, sizeof(T), alignof(T), &domain);
+#endif
     const int idx = domain.get_new_idx();
     domain.protect_ptr(base, idx);
     return orc_ptr<T*>(ptr, idx, &domain);

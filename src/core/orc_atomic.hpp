@@ -26,6 +26,7 @@
 #include <cstddef>
 
 #include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "core/orc_base.hpp"
 #include "core/orc_domain.hpp"
 #include "core/orc_ptr.hpp"
@@ -90,6 +91,9 @@ class orc_atomic {
     /// (Algorithm 4 lines 63–67). `desired`'s object must be protected by
     /// the caller (or be nullptr).
     void store(T desired) {
+#ifdef ORCGC_ORCSAN
+        orcsan_check_new_value(desired);
+#endif
         orc_increment(to_base(desired));
         T old = link_.exchange(desired, std::memory_order_seq_cst);
         orc_decrement(to_base(old));
@@ -110,6 +114,9 @@ class orc_atomic {
     /// only after the CAS succeeds. `desired`'s object must be protected by
     /// the caller (or be nullptr / a marked alias of a protected pointer).
     bool compare_exchange_strong(T expected, T desired) {
+#ifdef ORCGC_ORCSAN
+        orcsan_check_new_value(desired);
+#endif
         if (!link_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst)) {
             return false;
         }
@@ -125,6 +132,9 @@ class orc_atomic {
     /// protection is taken in the displaced object's own domain (that is
     /// where retire scans will look for it).
     orc_ptr<T> exchange(T desired) {
+#ifdef ORCGC_ORCSAN
+        orcsan_check_new_value(desired);
+#endif
         orc_increment(to_base(desired));
         T old = link_.exchange(desired, std::memory_order_seq_cst);
         orc_base* old_base = to_base(old);
@@ -137,6 +147,15 @@ class orc_atomic {
 
   private:
     static orc_base* to_base(T ptr) noexcept { return OrcDomain::to_base(ptr); }
+
+#ifdef ORCGC_ORCSAN
+    /// The paper's write contract, checked: the new value of a store/cas/
+    /// exchange must be protected by the caller at the moment of the call
+    /// (live orc_ptr, nullptr, or a marked alias of a protected pointer).
+    static void orcsan_check_new_value(T desired) noexcept {
+        if (orc_base* b = to_base(desired)) orcsan::check_link(b);
+    }
+#endif
 
     std::atomic<T> link_;
 };

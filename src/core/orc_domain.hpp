@@ -62,6 +62,7 @@
 #include "common/cacheline.hpp"
 #include "common/fatal.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
 #include "core/orc_base.hpp"
@@ -209,6 +210,9 @@ class OrcDomain {
                 // We own the retire token: nobody else can free obj now, so
                 // it is safe to unpublish before scanning.
                 metrics_.on_retire_token(obj);
+#ifdef ORCGC_ORCSAN
+                orcsan::on_retire(obj);
+#endif
                 unpublish_and_drain(t, idx);
                 retire(obj);
                 t.free_stack[++t.free_top] = idx;  // recycle only after the clear
@@ -293,6 +297,9 @@ class OrcDomain {
         if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
                                               std::memory_order_seq_cst)) {
             metrics_.on_retire_token(obj);
+#ifdef ORCGC_ORCSAN
+            orcsan::on_retire(obj);
+#endif
             retire(obj);
         }
     }
@@ -310,6 +317,9 @@ class OrcDomain {
             if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
                                                   std::memory_order_seq_cst)) {
                 metrics_.on_retire_token(obj);
+#ifdef ORCGC_ORCSAN
+                orcsan::on_retire(obj);
+#endif
                 scratch_release();
                 retire(obj);
                 return;
@@ -331,6 +341,14 @@ class OrcDomain {
     /// recursive_list. Generations of kSnapshotMin+ objects share one hp
     /// snapshot; smaller ones scan per object.
     void retire(orc_base* ptr) {
+#ifdef ORCGC_ORCSAN
+        {
+            // A retire must run in the object's OWN domain (domain_of
+            // routing): only there can the scan find its protections.
+            OrcDomain* od = ptr->_orc_dom;
+            orcsan::check_retire_domain(this, od != nullptr ? od : &OrcDomain::global(), ptr);
+        }
+#endif
         auto& t = tl_[thread_id()];
         if (t.retire_started) {
             // Cascading retire from inside a node destructor: flatten it.
@@ -474,6 +492,26 @@ class OrcDomain {
         return static_cast<orc_base*>(get_unmarked(ptr));
     }
 
+#ifdef ORCGC_ORCSAN
+    /// OrcSan coverage scan: is `obj` currently published in ANY thread's hp
+    /// slots of this domain (scratch included)? Checked only after the
+    /// shadow state says non-Live, so this cold walk never runs on the
+    /// common Live path. All threads are scanned, not just the caller —
+    /// protections may legitimately be held by another thread while a
+    /// reference is read here.
+    bool orcsan_covers(const orc_base* obj) const noexcept {
+        const int nthreads = thread_id_watermark();
+        for (int it = 0; it < nthreads; ++it) {
+            const auto& t = tl_[it];
+            const int peak = t.hp_peak.load(std::memory_order_acquire);
+            for (int idx = 0; idx < peak; ++idx) {
+                if (t.hp[idx].load(std::memory_order_acquire) == obj) return true;
+            }
+        }
+        return false;
+    }
+#endif
+
     // ---- internal (make_orc_in / façade plumbing) --------------------------
 
     /// Records an allocation into this domain. Called by make_orc_in after
@@ -615,6 +653,9 @@ class OrcDomain {
                     // (and re-counts the token, which is why resurrections
                     // offset the unreclaimed balance).
                     mh.on_resurrect(ptr);
+#ifdef ORCGC_ORCSAN
+                    orcsan::on_resurrect(ptr);
+#endif
                     break;
                 }
             }
@@ -814,10 +855,32 @@ inline void OrcDomain::destroy(orc_base* ptr) {
     if (OrcDomain* d = ptr->_orc_dom) {
         d->tracked_objects_.fetch_sub(1, std::memory_order_acq_rel);
     }
+#ifdef ORCGC_ORCSAN
+    if (orcsan::divert_eligible(ptr)) {
+        // Quarantine diversion: run the destructor NOW (cascades, tracked
+        // counts and allocation-tracker timing stay identical to `delete`),
+        // then park the raw block poisoned instead of freeing it. The
+        // allocation address must be taken before the destructor runs — the
+        // vptr dynamic_cast needs is gone afterwards.
+        void* mem = dynamic_cast<void*>(ptr);
+        ptr->~orc_base();
+        orcsan::quarantine_put(this, ptr, mem);
+        return;
+    }
+    // Unknown extent (allocated behind make_orc's back): cannot poison what
+    // we cannot measure — free normally, drop any auto-registered entry.
+    orcsan::on_untracked_free(ptr);
+#endif
     delete ptr;
 }
 
 inline OrcDomain::OrcDomain(bool is_global) : is_global_(is_global), metrics_(is_global) {
+#ifdef ORCGC_ORCSAN
+    // Construct the shadow table before this domain completes construction,
+    // so static teardown destroys it AFTER the global domain — whose
+    // destructor still flushes its quarantine through it.
+    orcsan::touch();
+#endif
     // Registration wires this domain into the single registry-level
     // thread-exit drain (and, for non-global domains, guards destruction
     // against concurrently exiting threads).
@@ -837,10 +900,18 @@ inline OrcDomain::~OrcDomain() {
             for (auto& h : t.handovers) {
                 if (orc_base* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) {
                     tsan_acquire_for_delete(ptr);
+#ifdef ORCGC_ORCSAN
+                    orcsan::on_untracked_free(ptr);
+#endif
                     delete ptr;
                 }
             }
         }
+#ifdef ORCGC_ORCSAN
+        // Evict (verify poison + canary, then free) everything this domain
+        // still holds. Last chance to catch a latent UAF write at exit.
+        orcsan::quarantine_flush(this);
+#endif
         return;
     }
     // Non-global destruction protocol. Precondition: no thread concurrently
@@ -891,6 +962,11 @@ inline OrcDomain::~OrcDomain() {
               "the domain",
               leaked);
     }
+#ifdef ORCGC_ORCSAN
+    // Quiescence proven: evict this domain's quarantine, verifying the
+    // poison + canary of every parked block on the way out.
+    orcsan::quarantine_flush(this);
+#endif
 }
 
 namespace detail {

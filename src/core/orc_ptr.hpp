@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "core/orc_base.hpp"
 #include "core/orc_domain.hpp"
 
@@ -102,8 +103,18 @@ class orc_ptr {
     operator T() const noexcept { return ptr_; }
 
     /// Dereference through the unmarked address (mark bits are metadata).
-    T operator->() const noexcept { return get_unmarked(ptr_); }
-    auto& operator*() const noexcept { return *get_unmarked(ptr_); }
+    T operator->() const noexcept {
+#ifdef ORCGC_ORCSAN
+        orcsan_check();
+#endif
+        return get_unmarked(ptr_);
+    }
+    auto& operator*() const noexcept {
+#ifdef ORCGC_ORCSAN
+        orcsan_check();
+#endif
+        return *get_unmarked(ptr_);
+    }
 
     explicit operator bool() const noexcept { return get_unmarked(ptr_) != nullptr; }
 
@@ -128,6 +139,16 @@ class orc_ptr {
     orc_base* base() const noexcept {
         return idx_ == kNoIndex ? nullptr : OrcDomain::to_base(ptr_);
     }
+
+#ifdef ORCGC_ORCSAN
+    /// Deref-path sanitizer check: the target must be Live in the shadow
+    /// machine, or covered by a published protection slot of the issuing
+    /// domain (orcsan.hpp). Uses the raw unmarked address, not base() —
+    /// white-box orc_ptrs without an index still deref.
+    void orcsan_check() const noexcept {
+        if (orc_base* b = OrcDomain::to_base(ptr_)) orcsan::check_deref(b, dom_);
+    }
+#endif
 
     void release() {
         if (dom_ != nullptr) dom_->release_idx(idx_, base());

@@ -18,6 +18,8 @@
 
 #include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
@@ -39,6 +41,9 @@ class EpochBasedReclaimer {
         std::uint64_t freed = 0;
         for (auto& slot : tl_) {
             for (auto& r : slot.retired) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(r.ptr);
+#endif
                 delete r.ptr;
                 ++freed;
             }
@@ -69,12 +74,21 @@ class EpochBasedReclaimer {
 
     /// Under EBR a plain load is safe inside a critical section.
     T* get_protected(const std::atomic<T*>& addr, int /*idx*/) noexcept {
-        return addr.load(std::memory_order_acquire);
+        T* ptr = addr.load(std::memory_order_acquire);
+#ifdef ORCGC_ORCSAN
+        // The epoch reservation is the protection; the read target must not
+        // already be reclaimed (orcsan.hpp, check_protect).
+        if (T* obj = get_unmarked(ptr)) orcsan::check_protect(obj);
+#endif
+        return ptr;
     }
     void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {}
     void clear_one(int /*idx*/) noexcept {}
 
     void retire(T* ptr) {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_retire(ptr);
+#endif
         auto& slot = tl_[thread_id()];
         slot.retired.push_back({ptr, global_era().load(std::memory_order_acquire)});
         metrics_.note_retired();
@@ -128,6 +142,9 @@ class EpochBasedReclaimer {
         std::uint64_t freed = 0;
         for (auto& r : slot.retired) {
             if (r.epoch + 2 <= cur) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(r.ptr);
+#endif
                 delete r.ptr;
                 ++freed;
             } else {

@@ -18,6 +18,7 @@
 #include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
@@ -41,6 +42,9 @@ class HazardEras {
         std::uint64_t freed = 0;
         for (auto& slot : tl_) {
             for (T* ptr : slot.retired) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             }
@@ -64,7 +68,14 @@ class HazardEras {
         while (true) {
             T* ptr = addr.load(std::memory_order_acquire);
             const std::uint64_t era = global_era().load(std::memory_order_acquire);
-            if (era == prev_era) return ptr;
+            if (era == prev_era) {
+#ifdef ORCGC_ORCSAN
+                // Reservation validated: the read target must not already be
+                // reclaimed (orcsan.hpp, check_protect).
+                if (T* obj = get_unmarked(ptr)) orcsan::check_protect(obj);
+#endif
+                return ptr;
+            }
             // Era moved: publish the new reservation and re-read. Objects
             // covered only by the old reservation lose protection here. The
             // loop's re-read of addr and the era re-check are the validation
@@ -93,6 +104,9 @@ class HazardEras {
     }
 
     void retire(T* ptr) {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_retire(ptr);
+#endif
         auto& slot = tl_[thread_id()];
         ptr->del_era.store(global_era().load(std::memory_order_acquire),
                            std::memory_order_release);
@@ -147,6 +161,9 @@ class HazardEras {
         std::uint64_t freed = 0;
         for (T* ptr : slot.retired) {
             if (can_delete(ptr, wm)) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             } else {

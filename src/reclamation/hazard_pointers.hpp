@@ -21,6 +21,7 @@
 #include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
@@ -40,6 +41,9 @@ class HazardPointers {
         std::uint64_t freed = 0;
         for (auto& slot : tl_) {
             for (T* ptr : slot.retired) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             }
@@ -65,7 +69,14 @@ class HazardPointers {
         auto& hp = tl_[thread_id()].hp[idx];
         T* pub = nullptr;
         for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
-            if (get_unmarked(ptr) == pub) return ptr;
+            if (get_unmarked(ptr) == pub) {
+#ifdef ORCGC_ORCSAN
+                // Protection just validated: the published target must not
+                // already be reclaimed (orcsan.hpp, check_protect).
+                if (pub != nullptr) orcsan::check_protect(pub);
+#endif
+                return ptr;
+            }
             pub = get_unmarked(ptr);
             tsan_release_protection(hp);  // previous publication loses coverage
             // The loop's re-read of addr is the post-publish validation: a
@@ -92,6 +103,9 @@ class HazardPointers {
     /// Buffers `ptr` (must be unreachable and unmarked) and scans when the
     /// buffer reaches the threshold.
     void retire(T* ptr) {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_retire(ptr);
+#endif
         auto& slot = tl_[thread_id()];
         slot.retired.push_back(ptr);
         metrics_.note_retired();
@@ -140,6 +154,9 @@ class HazardPointers {
                 keep.push_back(ptr);
             } else {
                 ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // scan found no protection
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             }

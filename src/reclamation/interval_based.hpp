@@ -21,6 +21,8 @@
 
 #include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
@@ -44,6 +46,9 @@ class IntervalBasedReclaimer {
         std::uint64_t freed = 0;
         for (auto& slot : tl_) {
             for (T* ptr : slot.retired) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             }
@@ -80,7 +85,14 @@ class IntervalBasedReclaimer {
         while (true) {
             T* ptr = addr.load(std::memory_order_acquire);
             const std::uint64_t era = global_era().load(std::memory_order_acquire);
-            if (era == prev) return ptr;
+            if (era == prev) {
+#ifdef ORCGC_ORCSAN
+                // Range reservation validated: the read target must not
+                // already be reclaimed (orcsan.hpp, check_protect).
+                if (T* obj = get_unmarked(ptr)) orcsan::check_protect(obj);
+#endif
+                return ptr;
+            }
             ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
             // The loop's re-read of addr and era re-check are the validation
             // a scan's asym::heavy() pairs with.
@@ -99,6 +111,9 @@ class IntervalBasedReclaimer {
     void clear_one(int /*idx*/) noexcept {}
 
     void retire(T* ptr) {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_retire(ptr);
+#endif
         auto& slot = tl_[thread_id()];
         ptr->del_era.store(global_era().load(std::memory_order_acquire),
                            std::memory_order_release);
@@ -153,6 +168,9 @@ class IntervalBasedReclaimer {
         std::uint64_t freed = 0;
         for (T* ptr : slot.retired) {
             if (can_delete(ptr, wm)) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             } else {

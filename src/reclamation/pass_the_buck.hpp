@@ -22,6 +22,7 @@
 #include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
@@ -42,12 +43,18 @@ class PassTheBuck {
         std::uint64_t freed = 0;
         for (auto& slot : tl_) {
             for (T* ptr : slot.retired) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             }
             for (auto& h : slot.handoff) {
                 Handoff cur = h.load(std::memory_order_acquire);
                 if (cur.ptr != nullptr) {
+#ifdef ORCGC_ORCSAN
+                    orcsan::on_manual_free(cur.ptr);
+#endif
                     delete cur.ptr;
                     ++freed;
                 }
@@ -67,7 +74,14 @@ class PassTheBuck {
         auto& guard = tl_[thread_id()].guard[idx];
         T* pub = nullptr;
         for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
-            if (get_unmarked(ptr) == pub) return ptr;
+            if (get_unmarked(ptr) == pub) {
+#ifdef ORCGC_ORCSAN
+                // Guard post validated: the trapped target must not already
+                // be reclaimed (orcsan.hpp, check_protect).
+                if (pub != nullptr) orcsan::check_protect(pub);
+#endif
+                return ptr;
+            }
             pub = get_unmarked(ptr);
             tsan_release_protection(guard);  // previous post loses coverage
             // The loop's re-read of addr is the post-publish validation a
@@ -85,6 +99,9 @@ class PassTheBuck {
     void clear_one(int idx) noexcept { clear_one_for(thread_id(), idx); }
 
     void retire(T* ptr) {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_retire(ptr);
+#endif
         auto& slot = tl_[thread_id()];
         slot.retired.push_back(ptr);
         metrics_.note_retired();
@@ -183,6 +200,9 @@ class PassTheBuck {
                 keep.push_back(ptr);
             } else {
                 ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // liberate scan found no guard
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             }

@@ -22,6 +22,7 @@
 #include "common/asym_fence.hpp"
 #include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
@@ -44,6 +45,9 @@ class PassThePointer {
             for (auto& h : slot.handovers) {
                 if (T* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) {
                     ORC_ANNOTATE_HAPPENS_AFTER(ptr);
+#ifdef ORCGC_ORCSAN
+                    orcsan::on_manual_free(ptr);
+#endif
                     delete ptr;
                     ++freed;
                 }
@@ -68,7 +72,14 @@ class PassThePointer {
         auto& hp = tl_[thread_id()].hp[idx];
         T* pub = nullptr;
         for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
-            if (get_unmarked(ptr) == pub) return ptr;
+            if (get_unmarked(ptr) == pub) {
+#ifdef ORCGC_ORCSAN
+                // Publication validated: the protected target must not
+                // already be reclaimed (orcsan.hpp, check_protect).
+                if (pub != nullptr) orcsan::check_protect(pub);
+#endif
+                return ptr;
+            }
             pub = get_unmarked(ptr);
             tsan_release_protection(hp);  // previous publication loses coverage
             asym::publish(hp, pub);
@@ -86,6 +97,9 @@ class PassThePointer {
 
     /// Algorithm 2 line 22.
     void retire(T* ptr) {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_retire(ptr);
+#endif
         metrics_.note_retired();
         handover_or_delete(ptr, 0);
     }
@@ -141,6 +155,9 @@ class PassThePointer {
             }
         }
         ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // full scan found no protection
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_free(ptr);
+#endif
         delete ptr;
         metrics_.note_freed();
     }

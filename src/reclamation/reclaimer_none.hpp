@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/cacheline.hpp"
+#include "common/orcsan.hpp"
 #include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 
@@ -29,6 +30,9 @@ class ReclaimerNone {
         std::uint64_t freed = 0;
         for (auto& slot : retired_) {
             for (T* ptr : slot.list) {
+#ifdef ORCGC_ORCSAN
+                orcsan::on_manual_free(ptr);
+#endif
                 delete ptr;
                 ++freed;
             }
@@ -46,6 +50,9 @@ class ReclaimerNone {
     void clear_one(int /*idx*/) noexcept {}
 
     void retire(T* ptr) {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_retire(ptr);
+#endif
         retired_[thread_id()].list.push_back(ptr);
         metrics_.note_retired();
     }

@@ -1,0 +1,114 @@
+// Deliberately-buggy Michael-list variant: the OrcSan true-positive fixture
+// (tests/test_orcsan.cpp; sanitizer model in src/common/orcsan.hpp).
+//
+// ds/orc/michael_list_orc.hpp shows the correct discipline; this variant
+// seeds the three classic SMR protocol bugs the ISSUE names, each behind its
+// own entry point so a death test can trigger exactly one:
+//
+//   bug                  entry point                     violation class
+//   -------------------  ------------------------------  -----------------
+//   protect call removed begin_unprotected() +           unprotected_deref
+//                        read_unprotected()
+//   early clear          front_with_early_clear()        unprotected_deref
+//   double retire        pop_front_with_manual_retire()  double_retire
+//
+// The list itself (push/pop at the head) is intentionally tiny — the bugs,
+// not the algorithm, are the point. Never compiled into a default build:
+// only test_orcsan.cpp (gated on ORCGC_ORCSAN) includes it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/alloc_tracker.hpp"
+#include "core/orc.hpp"
+#include "reclamation/hazard_pointers.hpp"
+
+namespace orcgc {
+namespace orcsan_fixture {
+
+class BuggyMichaelList {
+  public:
+    struct Node : orc_base, TrackedObject {
+        std::uint64_t key;
+        orc_atomic<Node*> next{nullptr};
+        explicit Node(std::uint64_t k) : key(k) {}
+    };
+
+    explicit BuggyMichaelList(OrcDomain& dom) : dom_(dom) {}
+    BuggyMichaelList(const BuggyMichaelList&) = delete;
+    BuggyMichaelList& operator=(const BuggyMichaelList&) = delete;
+
+    // ---- correct operations (the control group) ---------------------------
+
+    void push_front(std::uint64_t key) {
+        ScopedDomain guard(dom_);
+        orc_ptr<Node*> node = make_orc<Node>(key);
+        node->next.store(head_.load());
+        head_.store(node);
+    }
+
+    /// Unlinks the head node; the store drops its last hard link and OrcGC
+    /// retires it automatically.
+    bool pop_front() {
+        ScopedDomain guard(dom_);
+        orc_ptr<Node*> curr = head_.load();
+        if (!curr) return false;
+        head_.store(curr->next.load());
+        return true;
+    }
+
+    // ---- BUG 1: protect call removed --------------------------------------
+
+    /// Snapshots the head WITHOUT publishing a protection — the reader
+    /// pattern of a scheme port where the protect call was dropped. The raw
+    /// pointer is only stored here, never dereferenced (that is the caller's
+    /// mistake to make via read_unprotected).
+    Node* begin_unprotected() { return head_.load_unsafe(); }
+
+    /// Dereferences a snapshot taken by begin_unprotected(). The index-less
+    /// orc_ptr goes through the instrumented deref path with no hp slot
+    /// behind it: fine while the node is Live, an unprotected_deref violation
+    /// once a concurrent (or here: interleaved) pop reclaimed it.
+    std::uint64_t read_unprotected(Node* snapshot) {
+        orc_ptr<Node*> p(snapshot, /*idx=*/-1, /*dom=*/nullptr);
+        return p->key;
+    }
+
+    // ---- BUG 2: early clear -----------------------------------------------
+
+    /// Takes a protection correctly, then clears the published hp slot while
+    /// the orc_ptr is still live — the "I'm done scanning, release early"
+    /// bug. The returned reference looks protected but is not: a pop after
+    /// this call reclaims the node under it.
+    orc_ptr<Node*> front_with_early_clear() {
+        ScopedDomain guard(dom_);
+        orc_ptr<Node*> p = head_.load();
+        if (p) dom_.protect_ptr(nullptr, p.index());
+        return p;
+    }
+
+    // ---- BUG 3: double retire ---------------------------------------------
+
+    /// Pops the head and then ALSO retires it into a manual hazard-pointer
+    /// scheme — the belt-and-braces reflex of code ported from manual SMR.
+    /// The unlink already took the retire token (OrcGC retires on the last
+    /// hard-link drop), so the manual retire is a second token on an object
+    /// that is already Retired/Quarantined.
+    void pop_front_with_manual_retire() {
+        ScopedDomain guard(dom_);
+        orc_ptr<Node*> curr = head_.load();
+        if (!curr) return;
+        Node* raw = curr.get();
+        head_.store(curr->next.load());  // unlink: automatic retire
+        curr = nullptr;                  // drop the protection: node reclaimed
+        manual_.retire(raw);             // second retire token — the bug
+    }
+
+  private:
+    OrcDomain& dom_;
+    orc_atomic<Node*> head_;
+    HazardPointers<Node> manual_;
+};
+
+}  // namespace orcsan_fixture
+}  // namespace orcgc

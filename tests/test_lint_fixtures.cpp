@@ -113,6 +113,14 @@ TEST(OrcLintFixtures, R9FiresOnRawFencesAndSeqCstSlotPublishes) {
     EXPECT_EQ(count_rule(r.output, "R9"), 4) << r.output;
 }
 
+TEST(OrcLintFixtures, R10FiresOnRawFreeOfOrcBase) {
+    const LintResult r = run_lint(fixture("bad_r10"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // delete of a typed variable, delete through an orc_base cast, std::free,
+    // and ::operator delete; the untracked Node* delete must stay silent.
+    EXPECT_EQ(count_rule(r.output, "R10"), 4) << r.output;
+}
+
 TEST(OrcLintFixtures, BareSuppressionIsAnErrorAndDoesNotSuppress) {
     const LintResult r = run_lint(fixture("bad_suppression"));
     EXPECT_EQ(r.exit_code, 1) << r.output;

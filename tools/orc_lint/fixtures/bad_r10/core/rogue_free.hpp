@@ -1,0 +1,38 @@
+// Fixture: raw frees of orc_base-derived objects outside the domain free
+// path — R10 must flag all four forms: delete of a typed variable, delete
+// through an explicit cast, free(), and ::operator delete (never compiled —
+// linted only). The Node* delete at the bottom must stay silent: untracked
+// types are not R10's business.
+#pragma once
+
+#include <cstdlib>
+
+namespace fixture {
+
+struct orc_base;
+
+struct Node {
+    int key;
+};
+
+inline void rogue_delete(orc_base* victim) {
+    delete victim;
+}
+
+inline void rogue_cast_delete(void* erased) {
+    delete static_cast<orc_base*>(erased);
+}
+
+inline void rogue_c_free(orc_base* victim) {
+    std::free(victim);
+}
+
+inline void rogue_operator_delete(orc_base* victim) {
+    ::operator delete(victim);
+}
+
+inline void untracked_delete(Node* node) {
+    delete node;
+}
+
+}  // namespace fixture

@@ -40,6 +40,11 @@ class Engine {
 
   private:
     Slot tl_[kMaxThreads];
+    struct orc_base;  // stand-in for the engine's tracked-object base
+    void teardown_sweep(orc_base* leaked) {
+        // orc-lint: allow(R10) lenient global-domain teardown mirrors the domain free path
+        delete leaked;
+    }
     CachelinePadded<std::atomic<bool>> flags_[kMaxThreads];
     // orc-lint: allow(R4) observational samples read off the hot path only
     std::atomic<int> samples_[kMaxThreads] = {};

@@ -51,6 +51,12 @@
 //       strength; a hand-rolled seq_cst publish silently reverts that slot
 //       to the pre-asymmetric cost model. Handover/link exchanges are not
 //       publishes and stay seq_cst.
+//   R10 no raw delete/free/::operator delete of an orc_base-derived object
+//       anywhere except src/core/orc_domain.hpp — OrcDomain::destroy() is
+//       the single sanctioned free path (it is where the hazard scan, the
+//       handover protocol and OrcSan's quarantine diversion live); a rogue
+//       free bypasses all three and is the exact bug class OrcSan's shadow
+//       machine exists to catch at runtime.
 //
 // Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
 // line (or put it alone on the line above). Multiple rules:
@@ -100,6 +106,7 @@ struct RuleSet {
     bool r8 = false;  // core/ and reclamation/ (minus the telemetry layer)
     bool r9a = true;  // everywhere except common/asym_fence.{hpp,cpp}
     bool r9b = false;  // core/ and reclamation/ only
+    bool r10 = true;  // everywhere except core/orc_domain.hpp (the free path)
 };
 
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
@@ -266,6 +273,7 @@ class FileLinter {
         if (rules_.r8) check_r8();
         if (rules_.r9a) check_r9a();
         if (rules_.r9b) check_r9b();
+        if (rules_.r10) check_r10();
     }
 
   private:
@@ -614,6 +622,110 @@ class FileLinter {
         }
     }
 
+    // ---- R10: orc_base objects are freed only by the domain free path -----
+
+    /// Finds the offset of the matching ')' for the '(' at `open` within a
+    /// single line, or npos (line-local twin of match_paren).
+    static std::size_t match_paren_line(const std::string& line, std::size_t open) {
+        int depth = 0;
+        for (std::size_t i = open; i < line.size(); ++i) {
+            if (line[i] == '(') ++depth;
+            else if (line[i] == ')' && --depth == 0) return i;
+        }
+        return std::string::npos;
+    }
+
+    void check_r10() {
+        // Variables (locals or parameters) statically typed orc_base*. The
+        // declarator scan also collects orc_base*-returning function names
+        // ("base" in `orc_base* base() const`), which is fine: freeing
+        // through either spelling is the same violation.
+        std::set<std::string> tainted;
+        static const char kType[] = "orc_base";
+        std::size_t pos = 0;
+        while ((pos = clean_.find(kType, pos)) != std::string::npos) {
+            const std::size_t start = pos;
+            pos += sizeof(kType) - 1;
+            if (start > 0 && is_ident_char(clean_[start - 1])) continue;
+            std::size_t p = start + sizeof(kType) - 1;
+            if (p < clean_.size() && is_ident_char(clean_[p])) continue;
+            while (p < clean_.size() &&
+                   std::isspace(static_cast<unsigned char>(clean_[p]))) ++p;
+            if (p >= clean_.size() || clean_[p] != '*') continue;
+            ++p;
+            while (p < clean_.size() &&
+                   (std::isspace(static_cast<unsigned char>(clean_[p])) ||
+                    clean_[p] == '*')) ++p;
+            std::size_t b = p;
+            while (p < clean_.size() && is_ident_char(clean_[p])) ++p;
+            if (p > b) tainted.insert(clean_.substr(b, p - b));
+        }
+
+        // True if a free/delete operand expression names an orc_base object:
+        // a tainted variable as a whole word, or an explicit orc_base cast.
+        auto frees_orc_base = [&](const std::string& expr) {
+            if (expr.find("orc_base") != std::string::npos) return true;
+            for (const auto& var : tainted) {
+                if (var_occurrence(expr, var,
+                                   [](std::size_t, std::size_t) { return true; })) {
+                    return true;
+                }
+            }
+            return false;
+        };
+
+        for (std::size_t li = 0; li < clean_lines_.size(); ++li) {
+            const std::string& line = clean_lines_[li];
+            const int lineno = static_cast<int>(li) + 1;
+            scan_tokens(line, [&](std::string_view tok, std::size_t col) {
+                if (tok == "delete") {
+                    // Skip deleted special members: `= delete`.
+                    std::size_t q = col;
+                    while (q > 0 && line[q - 1] == ' ') --q;
+                    if (q > 0 && line[q - 1] == '=') return;
+                    if (q >= 8 && line.compare(q - 8, 8, "operator") == 0) {
+                        // ::operator delete(expr): the raw deallocation call.
+                        const std::size_t open = line.find('(', col + tok.size());
+                        if (open == std::string::npos) return;
+                        const std::size_t close = match_paren_line(line, open);
+                        if (close == std::string::npos) return;
+                        if (frees_orc_base(line.substr(open + 1, close - open - 1))) {
+                            emit("R10", lineno,
+                                 "::operator delete of an orc_base-derived object — "
+                                 "OrcGC objects are freed only by OrcDomain::destroy() "
+                                 "(retire -> scan -> destroy)");
+                        }
+                        return;
+                    }
+                    // delete expr; — the operand runs to the statement end.
+                    std::size_t e = line.find(';', col);
+                    if (e == std::string::npos) e = line.size();
+                    const std::string expr =
+                        line.substr(col + tok.size(), e - col - tok.size());
+                    if (frees_orc_base(expr)) {
+                        emit("R10", lineno,
+                             "raw 'delete' of an orc_base-derived object — OrcGC "
+                             "objects are freed only by OrcDomain::destroy() "
+                             "(retire -> scan -> destroy)");
+                    }
+                } else if (tok == "free") {
+                    // Only calls (identifier followed by '(').
+                    std::size_t p = col + tok.size();
+                    while (p < line.size() && line[p] == ' ') ++p;
+                    if (p >= line.size() || line[p] != '(') return;
+                    const std::size_t close = match_paren_line(line, p);
+                    if (close == std::string::npos) return;
+                    if (frees_orc_base(line.substr(p + 1, close - p - 1))) {
+                        emit("R10", lineno,
+                             "free() of an orc_base-derived object — OrcGC objects "
+                             "are freed only by OrcDomain::destroy() "
+                             "(retire -> scan -> destroy)");
+                    }
+                }
+            });
+        }
+    }
+
     template <typename Fn>
     static void scan_tokens(const std::string& line, Fn&& fn) {
         std::size_t i = 0;
@@ -918,6 +1030,11 @@ RuleSet rules_for_path(const std::string& generic_path) {
         r.r3 = false;
         r.r4 = false;
     }
+    // The domain free path is the one sanctioned place to free an orc_base:
+    // destroy() and the teardown sweeps live there, as does OrcSan's
+    // quarantine diversion. Everywhere else — engine, schemes, structures,
+    // clients — a raw free of a tracked object bypasses the hazard scan.
+    r.r10 = generic_path.find("/core/orc_domain.hpp") == std::string::npos;
     return r;
 }
 
@@ -941,7 +1058,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: orc_lint [--root DIR]... [FILE]...\n"
-                         "Lints OrcGC reclamation discipline (rules R1-R9).\n");
+                         "Lints OrcGC reclamation discipline (rules R1-R10).\n");
             return 0;
         } else {
             inputs.emplace_back(argv[i]);

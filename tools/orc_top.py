@@ -17,6 +17,11 @@ Usage:
 Columns: retired/freed/scans are monotonic totals; backlog is retired−freed
 at capture; peak is the sampled high-water backlog. Histogram buckets are
 powers of two (b holds values in [2^(b−1), 2^b−1]).
+
+When the export carries an "orcsan" source (a -DORCGC_ORCSAN=ON build, see
+DESIGN.md §1.9), a sanitizer panel follows the table: the four violation
+counters (double_retire, unprotected_deref, poison_torn, cross_domain_retire
+— any non-zero value is flagged) and the quarantine occupancy/peak gauges.
 """
 import argparse
 import json
@@ -56,6 +61,29 @@ def render_table(sources, out):
         )
 
 
+ORCSAN_VIOLATIONS = ("double_retire", "unprotected_deref", "poison_torn",
+                     "cross_domain_retire")
+
+
+def render_orcsan(sources, out):
+    """Sanitizer panel for -DORCGC_ORCSAN=ON exports: violation counters
+    (flagged when non-zero) and the quarantine gauges."""
+    for src in sources:
+        if src.get("name") != "orcsan":
+            continue
+        counters = src.get("counters", {})
+        gauges = src.get("gauges", {})
+        total = sum(counters.get(k, 0) for k in ORCSAN_VIOLATIONS)
+        verdict = "!! VIOLATIONS" if total else "clean"
+        print(f"\norcsan [{verdict}]", file=out)
+        for k in ORCSAN_VIOLATIONS:
+            n = counters.get(k, 0)
+            flag = "  <-- " + "!" * 8 if n else ""
+            print(f"  {k:<20} {fmt_count(n):>9}{flag}", file=out)
+        print(f"  {'quarantine':<20} {fmt_count(gauges.get('quarantine_occupancy', 0)):>9}"
+              f"  (peak {fmt_count(gauges.get('quarantine_peak', 0))})", file=out)
+
+
 def render_histograms(sources, out):
     for src in sorted(sources, key=lambda s: s["name"]):
         for name, hist in sorted(src.get("histograms", {}).items()):
@@ -91,6 +119,7 @@ def main() -> int:
         if args.watch is not None:
             sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
         render_table(sources, sys.stdout)
+        render_orcsan(sources, sys.stdout)
         if args.hist:
             render_histograms(sources, sys.stdout)
         sys.stdout.flush()

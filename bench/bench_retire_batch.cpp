@@ -99,6 +99,41 @@ void run_series(const char* series, const char* mix, const BenchConfig& cfg, con
     }
 }
 
+/// Contended multi-retirer scenario: every thread cascades simultaneously
+/// WHILE holding a protection on a shared node another thread is likely to
+/// retire. Each iteration protects one of a small shared pool of nodes, runs
+/// a full fanout cascade under that protection, then swaps the pooled node
+/// for a fresh one — retiring an object that other threads often have
+/// published, which drives the handover/park path and (in the sharded
+/// engine) displacement traffic between shards. Ops count nodes retired,
+/// comparable with the other series.
+void run_contended(const char* mix, const BenchConfig& cfg) {
+    constexpr int kSharedSlots = 8;
+    struct SharedPool {
+        orc_atomic<ChainNode*> slot[kSharedSlots];
+    };
+    static SharedPool pool;  // static: series bodies run on many threads
+    for (int i = 0; i < kSharedSlots; ++i) {
+        orc_ptr<ChainNode*> n = make_orc<ChainNode>();
+        pool.slot[i].store(n);
+    }
+    run_series("contended/32", mix, cfg, [](int tid, const std::atomic<bool>& stop) {
+        std::uint64_t ops = 0;
+        std::uint64_t i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            const int s = static_cast<int>((static_cast<std::uint64_t>(tid) + i++) % kSharedSlots);
+            orc_ptr<ChainNode*> held = pool.slot[s].load();  // protect a shared node
+            ops += fanout_cascade();                         // cascade under protection
+            orc_ptr<ChainNode*> fresh = make_orc<ChainNode>();
+            pool.slot[s].store(fresh);  // retire the old node (often protected elsewhere)
+            ops += 1;
+        }
+        return ops;
+    });
+    // Quiesce the pool before the next series (all workers joined by now).
+    for (int i = 0; i < kSharedSlots; ++i) pool.slot[i].store(nullptr);
+}
+
 void run_all_shapes(const char* mix, const BenchConfig& cfg) {
     run_series("single_drop", mix, cfg, [](int, const std::atomic<bool>& stop) {
         std::uint64_t ops = 0;
@@ -122,6 +157,7 @@ void run_all_shapes(const char* mix, const BenchConfig& cfg) {
         while (!stop.load(std::memory_order_acquire)) ops += fanout_cascade();
         return ops;
     });
+    run_contended(mix, cfg);
 }
 
 /// Quiescent, single-threaded instrumented pass: per cascade shape, report

@@ -236,6 +236,8 @@ enum class TraceType : std::uint8_t {
     kHandover = 4,  ///< object parked on another thread's handover slot
     kFree = 5,      ///< object deleted (arg = 1 if proven by a batch snapshot)
     kDrain = 6,     ///< parked object taken out of a handover slot
+    kShardPush = 7, ///< displaced object pushed onto a shard's MPSC inbox (arg = shard tid)
+    kShardDrain = 8,///< one shard inbox exchanged empty (arg = objects taken)
 };
 
 inline const char* trace_type_name(TraceType t) noexcept {
@@ -246,6 +248,8 @@ inline const char* trace_type_name(TraceType t) noexcept {
         case TraceType::kHandover: return "handover";
         case TraceType::kFree: return "free";
         case TraceType::kDrain: return "drain";
+        case TraceType::kShardPush: return "shard_push";
+        case TraceType::kShardDrain: return "shard_drain";
     }
     return "?";
 }

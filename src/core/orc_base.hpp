@@ -68,6 +68,16 @@ struct orc_base {
     /// domain.
     OrcDomain* _orc_dom = nullptr;
 
+    /// Engine-owned intrusive link for the per-shard MPSC handover inbox
+    /// (orc_domain.hpp). Valid ONLY while the object sits in an inbox — i.e.
+    /// after its retire token was taken and a scan displaced it out of a
+    /// handover slot — a window in which the object has no other owner, so
+    /// the link never races with user code. Plain (non-atomic): it is
+    /// written by the pushing thread before the release that enqueues the
+    /// node and read by the draining thread after the acquire that dequeues
+    /// it.
+    orc_base* _orc_link = nullptr;
+
     /// Drops the retire token; returns the post-drop _orc value. Used only by
     /// the engine's resurrection path (Algorithm 6). Token release is not a
     /// counter update, so the sequence field is deliberately left unchanged —

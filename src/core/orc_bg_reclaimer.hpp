@@ -1,0 +1,171 @@
+// BgReclaimer: the background-reclaimer unit (the ONE sanctioned home of a
+// raw std::thread in the engine — orc-lint R11 exempts exactly this file).
+//
+// An OrcDomain owns one of these. It stays dormant (no thread, no memory)
+// until the domain first observes shard-inbox backlog with ORC_BG_RECLAIM
+// set to `on` or `adaptive`; the default `off` keeps seed parity — no
+// thread is ever spawned and the retire paths pay one relaxed enum load.
+//
+// The unit is deliberately engine-agnostic: it owns a parked worker thread,
+// a condition variable and the adaptive wake threshold, and runs a caller
+// provided drain pass when woken. What a drain pass *does* (exchange shard
+// inboxes, re-enter the retire cascade, help an open shared scan) is the
+// domain's business — keeping OrcDomain out of this header also keeps the
+// spawn site auditable in isolation.
+//
+// Wake policy:
+//   on        any backlog wakes the worker (threshold 1).
+//   adaptive  the worker wakes when the backlog crosses
+//             adaptive_threshold(ewma) — a pure, monotone function of the
+//             domain's EWMA of recent cascade sizes. Small steady cascades
+//             keep the threshold low (drain promptly, keep tail latency
+//             flat); retire storms raise it so the worker batches more per
+//             wake instead of thrashing. tests/test_shard_scan.cpp asserts
+//             the monotonicity and the clamps.
+//
+// Shutdown protocol: ~OrcDomain calls stop_and_join() BEFORE it leaves the
+// DomainRegistry — the worker's thread-exit hook then drains its registry
+// slot across all still-registered domains (this one included) while their
+// state is fully valid, and no drain can race the destruction-to-quiescence
+// steps that follow the join.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace orcgc {
+
+class BgReclaimer {
+  public:
+    enum class Mode : int { kOff = 0, kOn = 1, kAdaptive = 2 };
+
+    /// Backlog (objects parked across a domain's shard inboxes) below which
+    /// the adaptive mode never wakes the worker: draining a handful of
+    /// objects is cheaper inline than a context switch.
+    static constexpr std::uint64_t kMinThreshold = 32;
+
+    /// Upper clamp: however large recent cascades were, backlog beyond this
+    /// always wakes the worker (bounds worst-case reclamation lag).
+    static constexpr std::uint64_t kMaxThreshold = 65536;
+
+    /// Process-wide mode from ORC_BG_RECLAIM (on|off|adaptive), parsed once.
+    /// Unrecognized values mean off: a typo must never spawn threads.
+    static Mode mode_from_env() {
+        static const Mode mode = [] {
+            const char* e = std::getenv("ORC_BG_RECLAIM");
+            if (e == nullptr) return Mode::kOff;
+            if (std::strcmp(e, "on") == 0) return Mode::kOn;
+            if (std::strcmp(e, "adaptive") == 0) return Mode::kAdaptive;
+            return Mode::kOff;
+        }();
+        return mode;
+    }
+
+    /// Adaptive wake threshold for a given cascade-size EWMA. Pure and
+    /// monotone non-decreasing in the EWMA, clamped to
+    /// [kMinThreshold, kMaxThreshold]: double the typical cascade is the
+    /// point where inline draining would start to stretch the cascade's own
+    /// tail latency, so the worker takes over.
+    static constexpr std::uint64_t adaptive_threshold(std::uint64_t cascade_ewma) noexcept {
+        const std::uint64_t raw = 2 * cascade_ewma;
+        if (raw < kMinThreshold || raw < cascade_ewma /* overflow */) {
+            return raw < cascade_ewma ? kMaxThreshold : kMinThreshold;
+        }
+        return raw > kMaxThreshold ? kMaxThreshold : raw;
+    }
+
+    /// Wake decision for the producer side: `mode` latched by the domain,
+    /// `backlog` its current shard-inbox occupancy, `cascade_ewma` its
+    /// cascade-size EWMA. Pure so tests can table-drive it.
+    static constexpr bool should_wake(Mode mode, std::uint64_t backlog,
+                                      std::uint64_t cascade_ewma) noexcept {
+        switch (mode) {
+            case Mode::kOn:
+                return backlog > 0;
+            case Mode::kAdaptive:
+                return backlog >= adaptive_threshold(cascade_ewma);
+            case Mode::kOff:
+            default:
+                return false;
+        }
+    }
+
+    BgReclaimer() = default;
+    BgReclaimer(const BgReclaimer&) = delete;
+    BgReclaimer& operator=(const BgReclaimer&) = delete;
+    ~BgReclaimer() { stop_and_join(); }
+
+    /// True once start() has spawned the worker (stays true until join).
+    bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+
+    /// Spawns the parked worker. `drain_pass` runs once per wake and should
+    /// loop until the domain's backlog is drained; `on_park` runs after each
+    /// drain pass, just before the worker blocks again (telemetry hook).
+    /// Idempotent: a second start is a no-op. Both callbacks execute on the
+    /// worker thread, which registers a dense thread id like any other —
+    /// drain passes may run full retire cascades.
+    void start(std::function<void()> drain_pass, std::function<void()> on_park) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (worker_.joinable()) return;
+        drain_ = std::move(drain_pass);
+        park_ = std::move(on_park);
+        stop_ = false;
+        wake_ = false;
+        worker_ = std::thread([this] { loop(); });
+        running_.store(true, std::memory_order_release);
+    }
+
+    /// Wakes the worker (producer side; called when should_wake() said yes).
+    /// Safe to call before start() or after stop — it only raises a flag.
+    void notify() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            wake_ = true;
+        }
+        cv_.notify_one();
+    }
+
+    /// Stops and joins the worker. Idempotent; safe when never started. The
+    /// caller must NOT hold any lock the worker's exit path needs (the
+    /// domain registry mutex in particular).
+    void stop_and_join() {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_one();
+        if (worker_.joinable()) worker_.join();
+        running_.store(false, std::memory_order_release);
+    }
+
+  private:
+    void loop() {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (true) {
+            cv_.wait(lock, [this] { return stop_ || wake_; });
+            if (stop_) return;
+            wake_ = false;
+            lock.unlock();
+            drain_();
+            park_();
+            lock.lock();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::thread worker_;
+    std::function<void()> drain_;
+    std::function<void()> park_;
+    bool stop_ = false;
+    bool wake_ = false;
+    std::atomic<bool> running_{false};
+};
+
+}  // namespace orcgc

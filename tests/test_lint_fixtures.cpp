@@ -1,6 +1,6 @@
 // Self-tests for the orc-lint static checker (tools/orc_lint/).
 //
-// Each rule R1–R9 must fire on its crafted bad fixture tree and stay silent
+// Each rule R1–R11 must fire on its crafted bad fixture tree and stay silent
 // on the good tree; the suppression grammar must reject a bare allow() and
 // honor a justified one. The last test is the enforcement gate itself: the
 // real src/ tree must lint clean. Fixture paths and the linter binary
@@ -119,6 +119,15 @@ TEST(OrcLintFixtures, R10FiresOnRawFreeOfOrcBase) {
     // delete of a typed variable, delete through an orc_base cast, std::free,
     // and ::operator delete; the untracked Node* delete must stay silent.
     EXPECT_EQ(count_rule(r.output, "R10"), 4) << r.output;
+}
+
+TEST(OrcLintFixtures, R11FiresOnRawThreadInEngine) {
+    const LintResult r = run_lint(fixture("bad_r11"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The member declaration and the spawn site; std::this_thread and the
+    // justified suppression stay silent. (core/orc_bg_reclaimer.hpp itself
+    // is exempt — covered by RepositoryTreeIsClean.)
+    EXPECT_EQ(count_rule(r.output, "R11"), 2) << r.output;
 }
 
 TEST(OrcLintFixtures, BareSuppressionIsAnErrorAndDoesNotSuppress) {

@@ -57,6 +57,13 @@
 //       handover protocol and OrcSan's quarantine diversion live); a rogue
 //       free bypasses all three and is the exact bug class OrcSan's shadow
 //       machine exists to catch at runtime.
+//   R11 no raw std::thread in src/core/ or src/reclamation/ outside
+//       src/core/orc_bg_reclaimer.hpp — the background-reclaimer unit is
+//       the engine's ONE sanctioned thread-spawning site, because a spawned
+//       thread registers a dense tid and MUST be joined before the
+//       destruction-to-quiescence protocol runs (and never while holding
+//       the registry mutex its exit hook needs). A thread spawned anywhere
+//       else hides a lifecycle the domain destructor does not know about.
 //
 // Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
 // line (or put it alone on the line above). Multiple rules:
@@ -107,6 +114,7 @@ struct RuleSet {
     bool r9a = true;  // everywhere except common/asym_fence.{hpp,cpp}
     bool r9b = false;  // core/ and reclamation/ only
     bool r10 = true;  // everywhere except core/orc_domain.hpp (the free path)
+    bool r11 = false;  // core/ and reclamation/ (minus core/orc_bg_reclaimer.hpp)
 };
 
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
@@ -274,6 +282,7 @@ class FileLinter {
         if (rules_.r9a) check_r9a();
         if (rules_.r9b) check_r9b();
         if (rules_.r10) check_r10();
+        if (rules_.r11) check_r11();
     }
 
   private:
@@ -726,6 +735,30 @@ class FileLinter {
         }
     }
 
+    // ---- R11: thread spawning is confined to the bg-reclaimer unit --------
+
+    void check_r11() {
+        static const char kNeedle[] = "std::thread";
+        std::size_t pos = 0;
+        while ((pos = clean_.find(kNeedle, pos)) != std::string::npos) {
+            const std::size_t start = pos;
+            pos += sizeof(kNeedle) - 1;
+            // Whole token: rejects this_thread/jthread-style neighbors on the
+            // left and longer identifiers (std::thread_foo) on the right.
+            if (start > 0 &&
+                (is_ident_char(clean_[start - 1]) || clean_[start - 1] == ':')) {
+                continue;
+            }
+            const std::size_t end = start + sizeof(kNeedle) - 1;
+            if (end < clean_.size() && is_ident_char(clean_[end])) continue;
+            emit("R11", line_of(start),
+                 "raw std::thread in engine/reclamation code — the background "
+                 "reclaimer (core/orc_bg_reclaimer.hpp) is the one sanctioned "
+                 "spawn site; hand it a drain callback instead, so the join-"
+                 "before-quiescence destruction ordering stays auditable");
+        }
+    }
+
     template <typename Fn>
     static void scan_tokens(const std::string& line, Fn&& fn) {
         std::size_t i = 0;
@@ -1035,6 +1068,12 @@ RuleSet rules_for_path(const std::string& generic_path) {
     // quarantine diversion. Everywhere else — engine, schemes, structures,
     // clients — a raw free of a tracked object bypasses the hazard scan.
     r.r10 = generic_path.find("/core/orc_domain.hpp") == std::string::npos;
+    // The background-reclaimer unit is the engine's one sanctioned
+    // thread-spawning site (its header documents the join-before-quiescence
+    // contract); a raw std::thread anywhere else in the engine or the manual
+    // schemes escapes the domain destruction protocol.
+    r.r11 = (core || generic_path.find("/reclamation/") != std::string::npos) &&
+            generic_path.find("/core/orc_bg_reclaimer.hpp") == std::string::npos;
     return r;
 }
 

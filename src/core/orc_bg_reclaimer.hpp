@@ -27,7 +27,9 @@
 // DomainRegistry — the worker's thread-exit hook then drains its registry
 // slot across all still-registered domains (this one included) while their
 // state is fully valid, and no drain can race the destruction-to-quiescence
-// steps that follow the join.
+// steps that follow the join. stop_and_join() latches: start() is a no-op
+// forever after, so a late producer (a retire cascade racing destruction)
+// can never respawn a worker into a domain that is tearing down.
 #pragma once
 
 #include <atomic>
@@ -107,12 +109,15 @@ class BgReclaimer {
     /// Spawns the parked worker. `drain_pass` runs once per wake and should
     /// loop until the domain's backlog is drained; `on_park` runs after each
     /// drain pass, just before the worker blocks again (telemetry hook).
-    /// Idempotent: a second start is a no-op. Both callbacks execute on the
-    /// worker thread, which registers a dense thread id like any other —
-    /// drain passes may run full retire cascades.
+    /// Idempotent: a second start is a no-op, and so is any start after
+    /// stop_and_join() — the stop latch is what lets ~OrcDomain's own drain
+    /// cascades run note_cascade without respawning a worker into a domain
+    /// mid-teardown. Both callbacks execute on the worker thread, which
+    /// registers a dense thread id like any other — drain passes may run
+    /// full retire cascades.
     void start(std::function<void()> drain_pass, std::function<void()> on_park) {
         std::lock_guard<std::mutex> lock(mu_);
-        if (worker_.joinable()) return;
+        if (stopped_ || worker_.joinable()) return;
         drain_ = std::move(drain_pass);
         park_ = std::move(on_park);
         stop_ = false;
@@ -131,16 +136,22 @@ class BgReclaimer {
         cv_.notify_one();
     }
 
-    /// Stops and joins the worker. Idempotent; safe when never started. The
-    /// caller must NOT hold any lock the worker's exit path needs (the
-    /// domain registry mutex in particular).
+    /// Stops and joins the worker, and latches: every later start() is a
+    /// no-op. Idempotent and safe under concurrent callers — the worker_
+    /// handoff happens under mu_ (swapped into a local, joined outside the
+    /// lock), so a racing start() or second stop_and_join() never touches a
+    /// thread object mid-join. The caller must NOT hold any lock the
+    /// worker's exit path needs (the domain registry mutex in particular).
     void stop_and_join() {
+        std::thread worker;
         {
             std::lock_guard<std::mutex> lock(mu_);
             stop_ = true;
+            stopped_ = true;
+            worker = std::move(worker_);
         }
         cv_.notify_one();
-        if (worker_.joinable()) worker_.join();
+        if (worker.joinable()) worker.join();
         running_.store(false, std::memory_order_release);
     }
 
@@ -164,6 +175,7 @@ class BgReclaimer {
     std::function<void()> drain_;
     std::function<void()> park_;
     bool stop_ = false;
+    bool stopped_ = false;  ///< latched by stop_and_join(); start() refuses after
     bool wake_ = false;
     std::atomic<bool> running_{false};
 };

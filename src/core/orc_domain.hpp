@@ -929,23 +929,33 @@ class OrcDomain {
         consume_shared_scan(mh);
     }
 
-    /// Chunk-claim loop of the cooperative scan. Each iteration fetch-adds
-    /// the claim ticket and works purely off the RETURNED value: the epoch in
-    /// its high bits says which scan (if any) the claimed range belongs to.
-    /// An RMW that lands on a closed (even) epoch or past n_items claimed
-    /// nothing and exits. Ordering: the acq_rel RMW reads a value in the
-    /// release sequence headed by the install's ticket store, so a valid
-    /// claim synchronizes-with the install — the arrays and n_items it reads
-    /// are exactly that epoch's. No NEWER install can be overwriting them:
-    /// an install requires the previous epoch closed, the close requires
-    /// settled == n_items, and our claimed range is not yet settled.
+    /// Chunk-claim loop of the cooperative scan. Each iteration validates a
+    /// loaded ticket (epoch odd, index below n_items) and then claims its
+    /// chunk with a CAS — never a blind fetch-add, so a closed or exhausted
+    /// epoch accumulates NO junk claims and the low 32 bits can never carry
+    /// into the epoch field, however many consumers race the close. The
+    /// epoch in the ticket's high bits says which scan the claimed range
+    /// belongs to. Ordering: the acq_rel CAS reads a value in the release
+    /// sequence headed by the install's ticket store, so a successful claim
+    /// synchronizes-with the install — and since any close or re-install
+    /// changes the ticket's epoch bits, CAS success also proves no newer
+    /// install slipped between our validation loads and the claim: the
+    /// arrays and n_items we read are exactly this epoch's. No NEWER
+    /// install can overwrite them while we settle: an install requires the
+    /// previous epoch closed, the close requires settled == n_items, and
+    /// our claimed range is not yet settled.
     void consume_shared_scan(OrcMetrics::Hot& mh) {
+        std::uint64_t tk = scan_.ticket.load(std::memory_order_acquire);
         while (true) {
-            const std::uint64_t tk = scan_.ticket.fetch_add(kShareChunk, std::memory_order_acq_rel);
-            if (((tk >> 32) & 1) == 0) return;  // closed epoch: junk add, harmless
+            if (((tk >> 32) & 1) == 0) return;  // closed epoch
             const std::uint32_t i0 = static_cast<std::uint32_t>(tk);
             const std::uint32_t n = scan_.n_items.load(std::memory_order_relaxed);
             if (i0 >= n) return;  // claims exhausted (a slower settler closes)
+            if (!scan_.ticket.compare_exchange_weak(tk, tk + kShareChunk,
+                                                    std::memory_order_acq_rel,
+                                                    std::memory_order_acquire)) {
+                continue;  // tk reloaded by the failed CAS: revalidate
+            }
             const std::uint32_t i1 = i0 + kShareChunk < n ? i0 + kShareChunk : n;
             for (std::uint32_t i = i0; i < i1; ++i) {
                 settle_item(mh, scan_.items[i], scan_.lorc[i], scan_.state[i]);
@@ -964,6 +974,7 @@ class OrcDomain {
                 scan_.claimed.store(false, std::memory_order_release);
                 return;
             }
+            tk = scan_.ticket.load(std::memory_order_acquire);
         }
     }
 
@@ -1251,6 +1262,12 @@ inline OrcDomain::OrcDomain(bool is_global) : is_global_(is_global), metrics_(is
 }
 
 inline OrcDomain::~OrcDomain() {
+    // Force the background mode off first: the handover/inbox drains below
+    // run full retire cascades, and note_cascade must not see a live on/
+    // adaptive mode with residual backlog and try to respawn the worker we
+    // are about to join (BgReclaimer's stop latch backstops this too, but
+    // bailing at the mode check keeps the teardown cascades fast).
+    bg_mode_.store(BgReclaimer::Mode::kOff, std::memory_order_relaxed);
     // Stop the background worker BEFORE leaving the registry: its thread-
     // exit hook (run inside the join) drains its dense tid across every
     // still-registered domain — this one included — while all their state is

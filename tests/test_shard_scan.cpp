@@ -358,6 +358,88 @@ TEST(BgReclaimer, WakesDrainsParksAndJoinsOnDestroy) {
     dom.reset();
 }
 
+/// stop_and_join() latches: any later start() must refuse to spawn. This is
+/// what keeps a retire cascade racing ~OrcDomain from respawning a worker
+/// into a domain mid-teardown (the destructor also forces the mode off, but
+/// the latch must hold on its own).
+TEST(BgReclaimer, StartAfterStopAndJoinIsANoOp) {
+    // Never-started reclaimer: stop_and_join is safe and still latches.
+    BgReclaimer bg;
+    bg.stop_and_join();
+    std::atomic<int> drains{0};
+    bg.start([&] { drains.fetch_add(1); }, [] {});
+    EXPECT_FALSE(bg.running());
+    bg.notify();  // only raises a flag; no worker may exist to see it
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(drains.load(), 0);
+
+    // Live worker: start, stop, then a late start is refused too.
+    BgReclaimer bg2;
+    bg2.start([&] { drains.fetch_add(1); }, [] {});
+    EXPECT_TRUE(bg2.running());
+    bg2.stop_and_join();
+    EXPECT_FALSE(bg2.running());
+    bg2.start([&] { drains.fetch_add(1); }, [] {});
+    EXPECT_FALSE(bg2.running());
+}
+
+/// Regression for the destructor-respawn race: a domain destroyed in mode
+/// kOn with residual backlog runs retire cascades from ~OrcDomain's own
+/// drain (step 2), and those cascades end in note_cascade with backlog
+/// still nonzero — which must NOT respawn the background worker after
+/// stop_and_join() (the respawned worker would race teardown and touch
+/// DomainState after tl_ is destroyed; the sanitizer legs catch it).
+///
+/// Setup: MAIN holds the protection, so the displaced park lands in MAIN's
+/// shard inbox — which no thread-exit hook drains — leaving a parked
+/// handover plus inbox backlog on the domain at destruction. The retires
+/// run on the worker via hard-link decrements (an orc_ptr's hp index is
+/// thread-local to main and cannot be released cross-thread).
+TEST(BgReclaimer, DestructionWithResidualBacklogDoesNotRespawnWorker) {
+    auto dom = make_quiet_domain();  // kOff while building the backlog
+    orc_base* xr = nullptr;
+    orc_base* yr = nullptr;
+    {
+        orc_ptr<Node*> px = make_orc_in<Node>(*dom);
+        orc_ptr<Node*> py = make_orc_in<Node>(*dom);
+        xr = px.get();
+        yr = py.get();
+        // Hard links keep the orc_ptr releases below from retiring; the
+        // worker's decrements are then what drop each counter to zero, so
+        // both retire cascades run on the WORKER thread.
+        orc_increment(xr);
+        orc_increment(yr);
+    }
+    const int idx = dom->get_new_idx();
+    dom->protect_ptr(xr, idx);
+
+    std::atomic<int> phase{0};
+    std::thread worker([&] {
+        orc_decrement(xr);  // retire X: parks it in MAIN's handover slot
+        advance(phase);     // 1
+        await(phase, 2);    // main republished Y on the same index
+        orc_decrement(yr);  // retire Y: parks Y, displaces X into MAIN's inbox
+        advance(phase);     // 3
+    });
+    await(phase, 1);
+    dom->protect_ptr(yr, idx);  // republish, NO release — X's park stays
+    advance(phase);             // 2
+    await(phase, 3);
+    worker.join();
+    ASSERT_EQ(dom->shard_backlog(), 1);
+    ASSERT_EQ(dom->handover_count(), 2u);  // Y parked + X inboxed
+    // idx stays published on purpose: releasing it would drain the very
+    // backlog this test needs; the destructor's step-1 unpublish covers it.
+
+    // Flip to kOn only now (a live worker would have drained the backlog),
+    // then destroy: the destructor's handover drain retires Y through a
+    // full cascade whose note_cascade sees mode-on backlog. The forced
+    // mode-off store plus the stop latch must keep the worker dead; the
+    // quiescence checks then prove X and Y both freed.
+    dom->set_bg_reclaim(BgReclaimer::Mode::kOn);
+    dom.reset();
+}
+
 TEST(BgReclaimer, AdaptiveStaysAsleepBelowThreshold) {
     auto dom = std::make_unique<OrcDomain>();
     dom->set_bg_reclaim(BgReclaimer::Mode::kAdaptive);

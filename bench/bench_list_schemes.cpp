@@ -68,6 +68,8 @@ int main(int argc, char** argv) {
     run_series<MichaelList<Key, HazardEras>>("HE", cfg, keys, false);
     run_series<MichaelList<Key, IntervalBasedReclaimer>>("IBR", cfg, keys, false);
     run_series<MichaelList<Key, PassThePointer>>("PTP", cfg, keys, false);
+    run_series<MichaelList<Key, Hyaline>>("Hyaline", cfg, keys, false);
+    run_series<MichaelList<Key, Debra>>("DEBRA", cfg, keys, false);
     run_series<MichaelListOrc<Key>>("OrcGC", cfg, keys, false);
     BenchJsonRecorder::instance().flush();
     return 0;

@@ -88,6 +88,10 @@ void run_manual(const char* name, const char* bound, const BenchConfig& cfg) {
         std::printf("memory-bound(tab1)     %-6s t=%-3d H=%d  peak_unreclaimed=%-8zu bound=%s\n",
                     name, threads, kListHPs, peak, bound);
         std::fflush(stdout);
+        // JSON row: mean carries the peak; the theoretical bound rides the
+        // mix column so the artifact is self-describing.
+        BenchJsonRecorder::instance().record("memory-bound(tab1)", name, bound, threads,
+                                             RunStats{static_cast<double>(peak), 0.0}, -1.0);
     }
 }
 
@@ -109,14 +113,17 @@ void run_orc(const BenchConfig& cfg) {
             "memory-bound(tab1)     %-6s t=%-3d H=*  peak_unreclaimed=%-8zu bound=O(Ht)\n",
             "OrcGC", threads, peak);
         std::fflush(stdout);
+        BenchJsonRecorder::instance().record("memory-bound(tab1)", "OrcGC", "O(Ht)", threads,
+                                             RunStats{static_cast<double>(peak), 0.0}, -1.0);
     }
 }
 
 }  // namespace
 }  // namespace orcgc
 
-int main() {
+int main(int argc, char** argv) {
     using namespace orcgc;
+    bench_json_init(argc, argv);
     const BenchConfig cfg = BenchConfig::from_env();
     std::printf("# Peak unreclaimed objects under 50i/50r churn, %llu keys (Table 1 bounds)\n",
                 static_cast<unsigned long long>(kKeys));
@@ -126,6 +133,12 @@ int main() {
     run_manual<HazardEras>("HE", "O(#L*Ht^2)", cfg);
     run_manual<IntervalBasedReclaimer>("IBR", "O(#L*Ht^2)", cfg);
     run_manual<PassThePointer>("PTP", "O(Ht)", cfg);
+    // Batches only detach once a slot-count of cells is pushed, so Hyaline's
+    // robust variant inherits the era family's bound; DEBRA, like any
+    // neutralization-free epoch scheme, is stalled-thread-unbounded.
+    run_manual<Hyaline>("Hyaline", "O(#L*Ht^2)", cfg);
+    run_manual<Debra>("DEBRA", "unbounded", cfg);
     run_orc(cfg);
+    BenchJsonRecorder::instance().flush();
     return 0;
 }

@@ -36,6 +36,9 @@ class MichaelList {
     static constexpr int kNumHPs = 3;
     using Reclaimer = ReclaimerTmpl<Node, kNumHPs>;
     static_assert(ManualReclaimer<Reclaimer, Node>);
+    // Era-stamped schemes (HE/IBR/Hyaline) declare kUsesEras; the node type
+    // must then actually carry the [birth_era, del_era] interval.
+    static_assert(!Reclaimer::kUsesEras || EraStampedReclaimer<Reclaimer, Node>);
 
     MichaelList() = default;
     MichaelList(const MichaelList&) = delete;

@@ -29,6 +29,7 @@ class MSQueue {
     static constexpr int kNumHPs = 2;
     using Reclaimer = ReclaimerTmpl<Node, kNumHPs>;
     static_assert(ManualReclaimer<Reclaimer, Node>);
+    static_assert(!Reclaimer::kUsesEras || EraStampedReclaimer<Reclaimer, Node>);
 
     MSQueue() {
         Node* sentinel = new Node();

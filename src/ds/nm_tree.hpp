@@ -69,6 +69,7 @@ class NMTree {
     static constexpr int kNumHPs = 1;  // era schemes ignore indices
     using Reclaimer = ReclaimerTmpl<Node, kNumHPs>;
     static_assert(ManualReclaimer<Reclaimer, Node>);
+    static_assert(!Reclaimer::kUsesEras || EraStampedReclaimer<Reclaimer, Node>);
 
     static constexpr K kInf0 = std::numeric_limits<K>::max() - 2;
     static constexpr K kInf1 = std::numeric_limits<K>::max() - 1;

@@ -1,0 +1,141 @@
+// DEBRA — distributed epoch-based reclamation (Brown, "Reclaiming memory
+// for lock-free data structures: there has to be a better way",
+// arXiv 1712.01044 / PODC 2015).
+//
+// Epoch-based like EBR, with the two costs EBR pays per quiescence cycle
+// amortized away:
+//
+//   * Announcements carry a quiescent BIT in the same word as the epoch
+//     ((epoch << 1) | q), so leaving a critical section is one store and
+//     entering re-publishes only when the epoch actually moved.
+//   * Epoch advance is *distributed*: instead of EBR's full reservation
+//     scan per attempt, each retire() inspects exactly one registered
+//     slot and the clock CASes forward only after a full round of slots
+//     checked out (announced the current epoch or quiescent). No thread
+//     ever takes an O(t) hit on the retire fast path.
+//
+// Per-thread garbage lives in three limbo bags rotated on epoch change:
+// entering epoch e frees bag[(e+1) % 3] — the nodes retired at epoch e-2,
+// whose two-epoch grace window just completed. (Full DEBRA+ adds a
+// neutralizing signal to cancel stalled readers; this is plain DEBRA — the
+// quiescence detection is signal-free, and one stalled reader pins the
+// clock, so the bound stays unbounded like EBR's Table-1 row.)
+//
+// Deliberate deviation from the paper: Brown amortizes the advance check in
+// leaveQstate (the operation prologue); we drive it from retire() so
+// read-only operations keep paying zero heavy fences — the repo's
+// asymmetric-fence story (one asym::heavy() per round, issued at round
+// start via enter_scan) — and epoch progress stays proportional to the
+// retire rate, exactly like EBR's kScanFrequency trigger. The shared
+// global_era() clock is trusted the same way EBR trusts it: only
+// quiescence-proven advances move it while a DEBRA instance is live.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/marked_ptr.hpp"
+#include "reclamation/scheme_base.hpp"
+
+namespace orcgc {
+
+namespace detail {
+struct DebraSlotState {
+    /// (epoch << 1) | quiescent-bit; starts quiescent at epoch 0.
+    std::atomic<std::uint64_t> ann{1};
+    std::uint64_t local_epoch = 0;  // owner-only: epoch the bags last rotated to
+    int scan_idx = 0;               // amortized advance cursor over the registry
+    std::uint64_t round_epoch = 0;  // epoch the current check round started at
+};
+}  // namespace detail
+
+template <typename T, int kMaxHPs = 4>
+class Debra : public SchemeBase<Debra<T, kMaxHPs>, T, kMaxHPs, detail::DebraSlotState, T*,
+                                /*kBags=*/3> {
+    using Base = SchemeBase<Debra<T, kMaxHPs>, T, kMaxHPs, detail::DebraSlotState, T*, 3>;
+    using Slot = typename Base::Slot;
+
+  public:
+    static constexpr const char* kName = "DEBRA";
+    static constexpr bool kUsesEras = false;
+    static constexpr std::uint64_t kQuiescentBit = 1;
+
+    /// Enter: rotate bags if the epoch moved, then announce "active at e".
+    /// The changed-word guard mirrors EBR's: the common begin/end cycle
+    /// always flips the quiescent bit, so it publishes every time, but the
+    /// publish itself is fence-free (asym::publish).
+    void begin_op() noexcept {
+        Slot& s = this->my_slot();
+        const std::uint64_t e = global_era().load(std::memory_order_acquire);
+        maybe_rotate(s, e);
+        const std::uint64_t word = e << 1;
+        if (s.ann.load(std::memory_order_relaxed) != word) {
+            asym::publish(s.ann, word);
+        }
+    }
+
+    /// Leave: one release store sets the quiescent bit (coarse reader
+    /// release on the shared clock, like every era scheme).
+    void end_op() noexcept {
+        Slot& s = this->my_slot();
+        Base::clear_era(s.ann, (s.local_epoch << 1) | kQuiescentBit);
+    }
+
+    /// Inside a critical section a plain load is safe (the announcement is
+    /// the protection), exactly as under EBR.
+    T* get_protected(const std::atomic<T*>& addr, int /*idx*/) noexcept {
+        T* ptr = addr.load(std::memory_order_acquire);
+        Base::san_check_protect(get_unmarked(ptr));
+        return ptr;
+    }
+    void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {}
+    void clear_one(int /*idx*/) noexcept {}
+
+    /// Bag the node under the current epoch, then run one amortized step of
+    /// the distributed epoch-advance protocol.
+    void retire(T* ptr) {
+        Slot& s = this->my_slot();
+        this->note_retire(ptr);
+        const std::uint64_t e = global_era().load(std::memory_order_acquire);
+        maybe_rotate(s, e);
+        this->buffer_retired(s, ptr, static_cast<int>(e % 3));
+        amortized_advance(s, e);
+    }
+
+  private:
+    /// Entering epoch e: bag[(e+1) % 3] holds nodes retired at epoch e-2
+    /// (or older epochs congruent mod 3 — skipping epochs only lengthens
+    /// their grace), and the clock reaching e proves their window closed.
+    void maybe_rotate(Slot& s, std::uint64_t e) {
+        if (s.local_epoch == e) return;
+        s.local_epoch = e;
+        this->note_scan_pass();
+        Base::acquire_era_edge();
+        this->template sweep_retired<false>(s, [](T*) { return true; },
+                                            static_cast<int>((e + 1) % 3));
+    }
+
+    /// One slot per retire: a full round over the registry (every slot
+    /// quiescent or announced at >= e) CASes the clock from e to e+1. The
+    /// asym::heavy() at round start is the scan-side fence for the whole
+    /// round — an announcement it misses was published after it, i.e. that
+    /// reader entered at the current (or a newer) epoch and passes the
+    /// check by value anyway (same argument as EBR's try_advance). A
+    /// mid-round epoch change restarts the round.
+    void amortized_advance(Slot& s, std::uint64_t e) {
+        if (s.scan_idx == 0 || s.round_epoch != e) {
+            s.round_epoch = e;
+            s.scan_idx = 0;
+            this->enter_scan();
+        }
+        const std::uint64_t word = this->tl_[s.scan_idx].ann.load(std::memory_order_acquire);
+        if ((word & kQuiescentBit) == 0 && (word >> 1) < e) return;  // lagging: retry this slot
+        if (++s.scan_idx >= thread_id_watermark()) {
+            s.scan_idx = 0;
+            std::uint64_t cur = e;
+            global_era().compare_exchange_strong(cur, e + 1, std::memory_order_acq_rel);
+        }
+    }
+};
+
+}  // namespace orcgc

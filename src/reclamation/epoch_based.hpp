@@ -14,46 +14,43 @@
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
-#include "common/asym_fence.hpp"
-#include "common/cacheline.hpp"
 #include "common/marked_ptr.hpp"
-#include "common/orcsan.hpp"
-#include "common/telemetry.hpp"
-#include "common/thread_registry.hpp"
-#include "common/tsan_annotations.hpp"
-#include "reclamation/reclaimable.hpp"
+#include "reclamation/scheme_base.hpp"
 
 namespace orcgc {
 
+namespace detail {
+struct EbrSlotState {
+    // ~0 is the kQuiescent sentinel (EpochBasedReclaimer::kQuiescent).
+    std::atomic<std::uint64_t> reservation{~std::uint64_t{0}};
+    int since_scan = 0;
+};
+template <typename T>
+struct EbrRetired {
+    T* ptr;
+    std::uint64_t epoch;
+};
+}  // namespace detail
+
 template <typename T, int kMaxHPs = 4>
-class EpochBasedReclaimer {
+class EpochBasedReclaimer : public SchemeBase<EpochBasedReclaimer<T, kMaxHPs>, T, kMaxHPs,
+                                              detail::EbrSlotState, detail::EbrRetired<T>> {
+    using Base = SchemeBase<EpochBasedReclaimer<T, kMaxHPs>, T, kMaxHPs, detail::EbrSlotState,
+                            detail::EbrRetired<T>>;
+    using Slot = typename Base::Slot;
+
   public:
     static constexpr const char* kName = "EBR";
+    static constexpr bool kUsesEras = false;
     static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
 
-    EpochBasedReclaimer() = default;
-    EpochBasedReclaimer(const EpochBasedReclaimer&) = delete;
-    EpochBasedReclaimer& operator=(const EpochBasedReclaimer&) = delete;
-
-    ~EpochBasedReclaimer() {
-        std::uint64_t freed = 0;
-        for (auto& slot : tl_) {
-            for (auto& r : slot.retired) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(r.ptr);
-#endif
-                delete r.ptr;
-                ++freed;
-            }
-        }
-        if (freed != 0) metrics_.note_freed(freed);
-    }
+    /// Retire bags hold {ptr, retire epoch}; the base frees through this.
+    static T* ptr_of(const detail::EbrRetired<T>& r) noexcept { return r.ptr; }
 
     /// Enters a read-side critical section: announce the current epoch.
     void begin_op() noexcept {
-        auto& res = tl_[thread_id()].reservation;
+        auto& res = this->my_slot().reservation;
         const std::uint64_t era = global_era().load(std::memory_order_acquire);
         // Changed-era guard (the one hazard_eras always had and EBR lacked):
         // re-announcing an unchanged reservation would pay the publish fence
@@ -65,33 +62,25 @@ class EpochBasedReclaimer {
         }
     }
 
-    /// Leaves the critical section (quiescent state).
-    void end_op() noexcept {
-        // Coarse reader release on the shared clock (see hazard_eras.hpp).
-        ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-        tl_[thread_id()].reservation.store(kQuiescent, std::memory_order_release);
-    }
+    /// Leaves the critical section (quiescent state). Coarse reader release
+    /// on the shared clock (clear_era in scheme_base.hpp).
+    void end_op() noexcept { Base::clear_era(this->my_slot().reservation, kQuiescent); }
 
     /// Under EBR a plain load is safe inside a critical section.
     T* get_protected(const std::atomic<T*>& addr, int /*idx*/) noexcept {
         T* ptr = addr.load(std::memory_order_acquire);
-#ifdef ORCGC_ORCSAN
         // The epoch reservation is the protection; the read target must not
         // already be reclaimed (orcsan.hpp, check_protect).
-        if (T* obj = get_unmarked(ptr)) orcsan::check_protect(obj);
-#endif
+        Base::san_check_protect(get_unmarked(ptr));
         return ptr;
     }
     void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {}
     void clear_one(int /*idx*/) noexcept {}
 
     void retire(T* ptr) {
-#ifdef ORCGC_ORCSAN
-        orcsan::on_manual_retire(ptr);
-#endif
-        auto& slot = tl_[thread_id()];
-        slot.retired.push_back({ptr, global_era().load(std::memory_order_acquire)});
-        metrics_.note_retired();
+        Slot& slot = this->my_slot();
+        this->note_retire(ptr);
+        this->buffer_retired(slot, {ptr, global_era().load(std::memory_order_acquire)});
         if (++slot.since_scan >= kScanFrequency) {
             slot.since_scan = 0;
             try_advance();
@@ -99,64 +88,36 @@ class EpochBasedReclaimer {
         }
     }
 
-    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
-
   private:
-    struct Retired {
-        T* ptr;
-        std::uint64_t epoch;
-    };
-    struct alignas(kCacheLineSize) Slot {
-        std::atomic<std::uint64_t> reservation{kQuiescent};
-        std::vector<Retired> retired;
-        int since_scan = 0;
-    };
     static constexpr int kScanFrequency = 32;
 
     /// Advances the global epoch iff every registered thread is quiescent or
     /// has announced the current epoch. This is the blocking step: one
     /// stalled reader pins the epoch forever.
     void try_advance() noexcept {
-        // Scan-side half of the asymmetric pair: a reservation publish this
-        // fence misses was ordered after it, so that reader entered its
-        // critical section after the epoch we are about to advance from —
-        // it announced the current (or a newer) epoch and the two-epoch
-        // grace window still covers everything it can reach. collect() needs
-        // no fence of its own: it only trusts epochs try_advance proved.
-        asym::heavy();
+        // Scan-side half of the asymmetric pair (enter_scan): a reservation
+        // publish this fence misses was ordered after it, so that reader
+        // entered its critical section after the epoch we are about to
+        // advance from — it announced the current (or a newer) epoch and the
+        // two-epoch grace window still covers everything it can reach.
+        // collect() needs no fence of its own: it only trusts epochs
+        // try_advance proved.
+        this->enter_scan();
         std::uint64_t cur = global_era().load(std::memory_order_acquire);
         const int wm = thread_id_watermark();
         for (int it = 0; it < wm; ++it) {
-            const std::uint64_t res = tl_[it].reservation.load(std::memory_order_acquire);
+            const std::uint64_t res = this->tl_[it].reservation.load(std::memory_order_acquire);
             if (res != kQuiescent && res < cur) return;
         }
         global_era().compare_exchange_strong(cur, cur + 1, std::memory_order_acq_rel);
     }
 
     void collect(Slot& slot) {
-        metrics_.note_scan();
-        ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
+        Base::acquire_era_edge();
         const std::uint64_t cur = global_era().load(std::memory_order_acquire);
-        std::vector<Retired> keep;
-        keep.reserve(slot.retired.size());
-        std::uint64_t freed = 0;
-        for (auto& r : slot.retired) {
-            if (r.epoch + 2 <= cur) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(r.ptr);
-#endif
-                delete r.ptr;
-                ++freed;
-            } else {
-                keep.push_back(r);
-            }
-        }
-        slot.retired.swap(keep);
-        if (freed != 0) metrics_.note_freed(freed);
+        this->template sweep_retired<false>(
+            slot, [cur](const detail::EbrRetired<T>& r) { return r.epoch + 2 <= cur; });
     }
-
-    Slot tl_[kMaxThreads];
-    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

@@ -7,137 +7,80 @@
 // reservation protects *every* object alive during the reserved era, so the
 // bound grows with the number of live objects, O(#L·H·t²) (Table 1).
 //
-// Nodes must expose the interval [birth_era, del_era] (ReclaimableBase).
+// Nodes must expose the interval [birth_era, del_era] (EraStampedNode).
 // The era clock ticks every kEraFrequency retires.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
-#include "common/asym_fence.hpp"
-#include "common/cacheline.hpp"
-#include "common/marked_ptr.hpp"
-#include "common/orcsan.hpp"
-#include "common/telemetry.hpp"
-#include "common/thread_registry.hpp"
-#include "common/tsan_annotations.hpp"
-#include "reclamation/reclaimable.hpp"
+#include "reclamation/reclaimer_concepts.hpp"
+#include "reclamation/scheme_base.hpp"
 
 namespace orcgc {
 
+namespace detail {
+template <int kMaxHPs>
+struct HeSlotState {
+    std::atomic<std::uint64_t> he[kMaxHPs] = {};
+    int since_tick = 0;
+};
+}  // namespace detail
+
 template <typename T, int kMaxHPs = 4>
-class HazardEras {
-    static_assert(std::is_base_of_v<ReclaimableBase, T>,
-                  "HazardEras requires nodes to derive from ReclaimableBase");
+class HazardEras
+    : public SchemeBase<HazardEras<T, kMaxHPs>, T, kMaxHPs, detail::HeSlotState<kMaxHPs>> {
+    static_assert(EraStampedNode<T>,
+                  "HazardEras requires nodes that carry the [birth_era, del_era] interval");
+    using Base = SchemeBase<HazardEras<T, kMaxHPs>, T, kMaxHPs, detail::HeSlotState<kMaxHPs>>;
+    using Slot = typename Base::Slot;
 
   public:
     static constexpr const char* kName = "HE";
-
-    HazardEras() = default;
-    HazardEras(const HazardEras&) = delete;
-    HazardEras& operator=(const HazardEras&) = delete;
-
-    ~HazardEras() {
-        std::uint64_t freed = 0;
-        for (auto& slot : tl_) {
-            for (T* ptr : slot.retired) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            }
-        }
-        if (freed != 0) metrics_.note_freed(freed);
-    }
+    static constexpr bool kUsesEras = true;
 
     void begin_op() noexcept {}
 
     void end_op() noexcept {
         // Coarse reader release: all accesses under the dropped reservations
         // are done (era schemes cannot name the individual objects covered).
-        ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-        auto& eras = tl_[thread_id()].he;
-        for (auto& e : eras) e.store(kEraNone, std::memory_order_release);
+        for (auto& e : this->my_slot().he) Base::clear_era(e, kEraNone);
     }
 
+    /// Era moves mid-loop: publish the new reservation and re-read. Objects
+    /// covered only by the old reservation lose protection there. The loop's
+    /// re-read of addr and the era re-check are the validation a scan's
+    /// asym::heavy() pairs with (protect_era_loop in scheme_base.hpp).
     T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
-        auto& he = tl_[thread_id()].he[idx];
-        std::uint64_t prev_era = he.load(std::memory_order_relaxed);
-        while (true) {
-            T* ptr = addr.load(std::memory_order_acquire);
-            const std::uint64_t era = global_era().load(std::memory_order_acquire);
-            if (era == prev_era) {
-#ifdef ORCGC_ORCSAN
-                // Reservation validated: the read target must not already be
-                // reclaimed (orcsan.hpp, check_protect).
-                if (T* obj = get_unmarked(ptr)) orcsan::check_protect(obj);
-#endif
-                return ptr;
-            }
-            // Era moved: publish the new reservation and re-read. Objects
-            // covered only by the old reservation lose protection here. The
-            // loop's re-read of addr and the era re-check are the validation
-            // a scan's asym::heavy() pairs with.
-            ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-            asym::publish(he, era);
-            prev_era = era;
-        }
+        return this->protect_era_loop(addr, this->my_slot().he[idx]);
     }
 
     /// Era-based protection cannot protect a raw pointer without a source
     /// address; reserving the current era protects everything alive now,
     /// which is a superset — sufficient for the protect_ptr contract.
     void protect_ptr(T* /*ptr*/, int idx) noexcept {
-        auto& he = tl_[thread_id()].he[idx];
-        const std::uint64_t era = global_era().load(std::memory_order_acquire);
-        if (he.load(std::memory_order_relaxed) != era) {
-            ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-            asym::publish(he, era);
-        }
+        this->refresh_era_reservation(this->my_slot().he[idx]);
     }
 
-    void clear_one(int idx) noexcept {
-        ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-        tl_[thread_id()].he[idx].store(kEraNone, std::memory_order_release);
-    }
+    void clear_one(int idx) noexcept { Base::clear_era(this->my_slot().he[idx], kEraNone); }
 
     void retire(T* ptr) {
-#ifdef ORCGC_ORCSAN
-        orcsan::on_manual_retire(ptr);
-#endif
-        auto& slot = tl_[thread_id()];
-        ptr->del_era.store(global_era().load(std::memory_order_acquire),
-                           std::memory_order_release);
-        slot.retired.push_back(ptr);
-        metrics_.note_retired();
-        if (++slot.since_tick >= kEraFrequency) {
-            slot.since_tick = 0;
-            global_era().fetch_add(1, std::memory_order_acq_rel);
-        }
-        if (slot.retired.size() >= scan_threshold()) scan(slot);
+        Slot& slot = this->my_slot();
+        this->note_retire(ptr);
+        Base::stamp_del_era(ptr);
+        this->buffer_retired(slot, ptr);
+        Base::tick_era(slot.since_tick, kEraFrequency);
+        if (this->past_scan_threshold(slot)) scan(slot);
     }
-
-    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
-    struct alignas(kCacheLineSize) Slot {
-        std::atomic<std::uint64_t> he[kMaxHPs] = {};
-        std::vector<T*> retired;
-        int since_tick = 0;
-    };
     static constexpr int kEraFrequency = 64;
-
-    std::size_t scan_threshold() const noexcept {
-        return static_cast<std::size_t>(kMaxHPs) * thread_id_watermark() + kMaxHPs + 8;
-    }
 
     bool can_delete(const T* ptr, int watermark) const noexcept {
         const std::uint64_t born = ptr->birth_era;
         const std::uint64_t dead = ptr->del_era.load(std::memory_order_acquire);
         for (int it = 0; it < watermark; ++it) {
-            for (const auto& h : tl_[it].he) {
+            for (const auto& h : this->tl_[it].he) {
                 const std::uint64_t era = h.load(std::memory_order_acquire);
                 if (era != kEraNone && born <= era && era <= dead) return false;
             }
@@ -146,36 +89,18 @@ class HazardEras {
     }
 
     void scan(Slot& slot) {
-        metrics_.note_scan();
         // Scan-side half of the asymmetric pair: every retired node's del_era
         // was stamped before the scan, so a reservation this fence misses was
         // published after the node's deletion era ticked — its owner's era
         // re-check in get_protected rejects any node the scan may free.
-        asym::heavy();
+        this->enter_scan();
         // Pairs with the readers' coarse releases: anything the era scan
         // below proves unprotected was released before this point.
-        ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
+        Base::acquire_era_edge();
         const int wm = thread_id_watermark();
-        std::vector<T*> keep;
-        keep.reserve(slot.retired.size());
-        std::uint64_t freed = 0;
-        for (T* ptr : slot.retired) {
-            if (can_delete(ptr, wm)) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            } else {
-                keep.push_back(ptr);
-            }
-        }
-        slot.retired.swap(keep);
-        if (freed != 0) metrics_.note_freed(freed);
+        this->template sweep_retired<false>(slot,
+                                            [&](const T* ptr) { return can_delete(ptr, wm); });
     }
-
-    Slot tl_[kMaxThreads];
-    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

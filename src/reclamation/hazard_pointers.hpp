@@ -7,166 +7,92 @@
 // thread. Bound on unreclaimed objects: O(H·t²) — each of t threads may
 // buffer up to R = H·t + slack nodes.
 //
-// Publication goes through asym::publish (release store + asym::light());
-// the seq_cst store the scheme classically pays per publication — on x86 an
-// xchg or mov+mfence, exactly the fence the paper's §5 discusses when
-// comparing Intel and AMD — is replaced by one asym::heavy() per scan (see
-// src/common/asym_fence.hpp and DESIGN.md "Memory ordering and asymmetric
-// fences").
+// Publication goes through the substrate's asym::publish path (release store
+// + asym::light()); the seq_cst store the scheme classically pays per
+// publication — on x86 an xchg or mov+mfence, exactly the fence the paper's
+// §5 discusses when comparing Intel and AMD — is replaced by one
+// asym::heavy() per scan (scheme_base.hpp and DESIGN.md "Memory ordering and
+// asymmetric fences").
 #pragma once
 
 #include <atomic>
 #include <vector>
 
-#include "common/asym_fence.hpp"
-#include "common/cacheline.hpp"
-#include "common/marked_ptr.hpp"
-#include "common/orcsan.hpp"
-#include "common/telemetry.hpp"
-#include "common/thread_registry.hpp"
-#include "common/tsan_annotations.hpp"
+#include "reclamation/scheme_base.hpp"
 
 namespace orcgc {
 
+namespace detail {
+template <typename T, int kMaxHPs>
+struct HpSlotState {
+    std::atomic<T*> hp[kMaxHPs] = {};
+};
+}  // namespace detail
+
 template <typename T, int kMaxHPs = 4>
-class HazardPointers {
+class HazardPointers
+    : public SchemeBase<HazardPointers<T, kMaxHPs>, T, kMaxHPs, detail::HpSlotState<T, kMaxHPs>> {
+    using Base =
+        SchemeBase<HazardPointers<T, kMaxHPs>, T, kMaxHPs, detail::HpSlotState<T, kMaxHPs>>;
+    using Slot = typename Base::Slot;
+
   public:
     static constexpr const char* kName = "HP";
-
-    HazardPointers() = default;
-    HazardPointers(const HazardPointers&) = delete;
-    HazardPointers& operator=(const HazardPointers&) = delete;
-
-    ~HazardPointers() {
-        std::uint64_t freed = 0;
-        for (auto& slot : tl_) {
-            for (T* ptr : slot.retired) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            }
-        }
-        if (freed != 0) metrics_.note_freed(freed);
-    }
+    static constexpr bool kUsesEras = false;
 
     void begin_op() noexcept {}
 
     /// Clears all of the calling thread's hazard pointers.
     void end_op() noexcept {
-        auto& hp = tl_[thread_id()].hp;
-        for (auto& h : hp) {
-            tsan_release_protection(h);
-            h.store(nullptr, std::memory_order_release);
-        }
+        for (auto& h : this->my_slot().hp) Base::clear_pointer(h);
     }
 
     /// Publishes the pointer read from addr at hp slot `idx` and re-validates
     /// until stable. Returns the (possibly marked) value read; the published
     /// hazard is always the unmarked object address.
     T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
-        auto& hp = tl_[thread_id()].hp[idx];
-        T* pub = nullptr;
-        for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
-            if (get_unmarked(ptr) == pub) {
-#ifdef ORCGC_ORCSAN
-                // Protection just validated: the published target must not
-                // already be reclaimed (orcsan.hpp, check_protect).
-                if (pub != nullptr) orcsan::check_protect(pub);
-#endif
-                return ptr;
-            }
-            pub = get_unmarked(ptr);
-            tsan_release_protection(hp);  // previous publication loses coverage
-            // The loop's re-read of addr is the post-publish validation: a
-            // scan whose asym::heavy() missed this publish saw the node
-            // already unlinked, and the re-read observes that unlink.
-            asym::publish(hp, pub);
-        }
+        return this->protect_pointer_loop(addr, this->my_slot().hp[idx]);
     }
 
     /// Publishes `ptr` without validation; the caller must re-validate the
     /// source link before dereferencing.
     void protect_ptr(T* ptr, int idx) noexcept {
-        auto& slot = tl_[thread_id()].hp[idx];
-        tsan_release_protection(slot);
-        asym::publish(slot, get_unmarked(ptr));
+        Base::publish_pointer(this->my_slot().hp[idx], get_unmarked(ptr));
     }
 
-    void clear_one(int idx) noexcept {
-        auto& slot = tl_[thread_id()].hp[idx];
-        tsan_release_protection(slot);
-        slot.store(nullptr, std::memory_order_release);
-    }
+    void clear_one(int idx) noexcept { Base::clear_pointer(this->my_slot().hp[idx]); }
 
     /// Buffers `ptr` (must be unreachable and unmarked) and scans when the
     /// buffer reaches the threshold.
     void retire(T* ptr) {
-#ifdef ORCGC_ORCSAN
-        orcsan::on_manual_retire(ptr);
-#endif
-        auto& slot = tl_[thread_id()];
-        slot.retired.push_back(ptr);
-        metrics_.note_retired();
-        if (slot.retired.size() >= scan_threshold()) scan(slot);
+        Slot& slot = this->my_slot();
+        this->note_retire(ptr);
+        this->buffer_retired(slot, ptr);
+        if (this->past_scan_threshold(slot)) scan(slot);
     }
-
-    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
-    struct alignas(kCacheLineSize) Slot {
-        std::atomic<T*> hp[kMaxHPs] = {};
-        std::vector<T*> retired;
-    };
-
-    std::size_t scan_threshold() const noexcept {
-        return static_cast<std::size_t>(kMaxHPs) * thread_id_watermark() + kMaxHPs + 8;
-    }
-
     void scan(Slot& slot) {
-        metrics_.note_scan();
         // Scan-side half of the asymmetric pair: every node in slot.retired
         // was unlinked before it was retired, so a publish this fence misses
         // was ordered after the unlink — that reader's validation re-read
         // fails and it never dereferences the node.
-        asym::heavy();
+        this->enter_scan();
         std::vector<T*> hazards;
         const int wm = thread_id_watermark();
         hazards.reserve(static_cast<std::size_t>(wm) * kMaxHPs);
         for (int it = 0; it < wm; ++it) {
-            for (const auto& h : tl_[it].hp) {
+            for (const auto& h : this->tl_[it].hp) {
                 if (T* ptr = h.load(std::memory_order_acquire)) hazards.push_back(ptr);
             }
         }
-        std::vector<T*> keep;
-        keep.reserve(slot.retired.size());
-        std::uint64_t freed = 0;
-        for (T* ptr : slot.retired) {
-            bool protected_ = false;
+        this->template sweep_retired<true>(slot, [&](T* ptr) {
             for (T* h : hazards) {
-                if (h == ptr) {
-                    protected_ = true;
-                    break;
-                }
+                if (h == ptr) return false;
             }
-            if (protected_) {
-                keep.push_back(ptr);
-            } else {
-                ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // scan found no protection
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            }
-        }
-        slot.retired.swap(keep);
-        if (freed != 0) metrics_.note_freed(freed);
+            return true;
+        });
     }
-
-    Slot tl_[kMaxThreads];
-    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

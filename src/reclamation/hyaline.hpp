@@ -1,0 +1,238 @@
+// Hyaline, robust variant (Hyaline-1S — Nikolaev & Ravindran,
+// arXiv 1905.07903 / SPAA 2019).
+//
+// The strongest published rival on robustness + speed (ROADMAP item 3) and
+// the snapshot-free counterpoint to HP/HE scanning: retirement never reads
+// other threads' protection words into a snapshot. Instead, retired nodes
+// accumulate in a per-thread *batch*; when the batch has one node per
+// registered slot, the retirer hands the whole batch to every active reader
+// by CAS-pushing one distinct batch node onto each reader's intrusive slot
+// list. The batch's first node (the REFS node) carries a reference counter:
+// it is incremented once per successful insertion, decremented once per
+// reader that drains its list on leave, and the batch is freed by whoever
+// moves the counter to zero. Readers therefore free garbage cooperatively
+// on their own exit path — there is no scan loop at all.
+//
+// Robustness comes from per-slot birth eras (the "-R" refinement): each
+// reader publishes the era it validated (protect_era_loop), and a retirer
+// skips slots whose published era predates the *oldest* node in the batch —
+// a reader that entered after every batch node was born cannot hold any of
+// them, so a stalled-but-late reader does not pin old garbage. The bound is
+// era-interval shaped like IBR's: O(#L·H·t²) (the paper's Table 1 row for
+// Hyaline-1S).
+//
+// Memory orders: the slot-list head is a CAS chain (push: acquire load +
+// acq_rel CAS; drain: acq_rel exchange), which carries the retirer's batch
+// writes to the draining reader. The push is ABA-immune by construction —
+// the new cell's next pointer is the observed head value from the same CAS
+// iteration, whatever that address currently means. The refcount is acq_rel
+// both ways so the last decrement observes every insertion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "reclamation/reclaimer_concepts.hpp"
+#include "reclamation/scheme_base.hpp"
+
+namespace orcgc {
+
+namespace detail {
+
+/// Slot-list head sentinel: the owner is not inside an operation, pushes
+/// must not land here. 0 is an active empty list; any other value is the
+/// ReclaimableBase* at the head.
+inline constexpr std::uintptr_t kHyHeadDetached = 1;
+
+struct HySlotState {
+    std::atomic<std::uintptr_t> head{kHyHeadDetached};
+    /// Era reservation for the robust skip (kEraNone while inactive).
+    std::atomic<std::uint64_t> era{kEraNone};
+    // Owner-only batch accumulation (REFS node first, chained via hy_bnext).
+    ReclaimableBase* batch_first = nullptr;
+    ReclaimableBase* batch_tail = nullptr;
+    std::size_t batch_size = 0;
+    std::uint64_t batch_min_birth = 0;
+    int since_tick = 0;
+};
+
+}  // namespace detail
+
+template <typename T, int kMaxHPs = 4>
+class Hyaline : public SchemeBase<Hyaline<T, kMaxHPs>, T, kMaxHPs, detail::HySlotState> {
+    static_assert(EraStampedNode<T>,
+                  "Hyaline (robust variant) requires nodes that carry [birth_era, del_era]");
+    using Base = SchemeBase<Hyaline<T, kMaxHPs>, T, kMaxHPs, detail::HySlotState>;
+    using Slot = typename Base::Slot;
+
+  public:
+    static constexpr const char* kName = "Hyaline";
+    static constexpr bool kUsesEras = true;
+
+    ~Hyaline() {
+        // Single-threaded teardown: drain every slot list (threads that left
+        // mid-process already drained theirs), then free half-built batches.
+        for (Slot& s : this->tl_) {
+            const std::uintptr_t old =
+                s.head.exchange(detail::kHyHeadDetached, std::memory_order_acq_rel);
+            if (old != detail::kHyHeadDetached && old != 0) {
+                drain(reinterpret_cast<ReclaimableBase*>(old));
+            }
+            std::uint64_t freed = 0;
+            for (ReclaimableBase* node = s.batch_first; node != nullptr;) {
+                ReclaimableBase* next = node->hy_bnext;
+                Base::free_object(static_cast<T*>(node));
+                ++freed;
+                node = next;
+            }
+            this->note_freed_objects(freed);
+        }
+    }
+
+    /// Enter: activate the slot list, then publish the era reservation. A
+    /// retirer that sees the era also sees the active head (both released);
+    /// one that misses both treats us as entered after its fence.
+    void begin_op() noexcept {
+        Slot& s = this->my_slot();
+        if (s.head.load(std::memory_order_relaxed) == detail::kHyHeadDetached) {
+            s.head.store(0, std::memory_order_release);
+        }
+        this->refresh_era_reservation(s.era);
+    }
+
+    /// Leave: drop the reservation, detach the slot list wholesale, and
+    /// drain it — this is where a Hyaline reader pays its share of
+    /// reclamation (one refcount decrement per batch handed to it).
+    void end_op() noexcept {
+        Slot& s = this->my_slot();
+        Base::clear_era(s.era, kEraNone);
+        const std::uintptr_t old =
+            s.head.exchange(detail::kHyHeadDetached, std::memory_order_acq_rel);
+        if (old != detail::kHyHeadDetached && old != 0) {
+            drain(reinterpret_cast<ReclaimableBase*>(old));
+        }
+    }
+
+    /// One era reservation covers every index, HE-style validation loop.
+    T* get_protected(const std::atomic<T*>& addr, int /*idx*/) noexcept {
+        return this->protect_era_loop(addr, this->my_slot().era);
+    }
+    void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {
+        this->refresh_era_reservation(this->my_slot().era);
+    }
+    /// The single reservation backs all indices; it drops at end_op.
+    void clear_one(int /*idx*/) noexcept {}
+
+    /// Accumulate into the thread's batch; once the batch can cover every
+    /// registered slot (one node per slot, REFS node excluded), hand it out.
+    void retire(T* ptr) {
+        Slot& s = this->my_slot();
+        this->note_retire(ptr);
+        Base::stamp_del_era(ptr);
+        ReclaimableBase* node = ptr;
+        node->hy_next.store(nullptr, std::memory_order_relaxed);
+        node->hy_bnext = nullptr;
+        node->hy_blink = nullptr;
+        if (s.batch_first == nullptr) {
+            s.batch_first = node;  // becomes the REFS node
+            s.batch_tail = node;
+            s.batch_size = 1;
+            s.batch_min_birth = node->birth_era;
+        } else {
+            s.batch_tail->hy_bnext = node;
+            s.batch_tail = node;
+            ++s.batch_size;
+            if (node->birth_era < s.batch_min_birth) s.batch_min_birth = node->birth_era;
+        }
+        Base::tick_era(s.since_tick, kEraFrequency);
+        if (s.batch_size > static_cast<std::size_t>(thread_id_watermark())) {
+            retire_batch(s);
+        }
+    }
+
+  private:
+    static constexpr int kEraFrequency = 64;
+
+    void retire_batch(Slot& s) {
+        ReclaimableBase* refs_node = s.batch_first;
+        const std::uint64_t min_birth = s.batch_min_birth;
+        const int wm = thread_id_watermark();
+        // One distinct batch node backs each insertion; re-check the cell
+        // budget against the current watermark (it may have grown since the
+        // size test) and keep accumulating if it no longer suffices.
+        if (s.batch_size <= static_cast<std::size_t>(wm)) return;
+        // Scan-side half of the asymmetric pair: every batch node was
+        // unlinked before retire() buffered it and its del_era was stamped,
+        // so an era publish this fence misses was ordered after the fence —
+        // that reader's validation re-read (protect_era_loop) never covers a
+        // node this handout could free.
+        this->enter_scan();
+        Base::acquire_era_edge();
+        refs_node->hy_refs.store(0, std::memory_order_relaxed);
+        ReclaimableBase* cell = refs_node->hy_bnext;  // REFS node is never a cell
+        std::int64_t inserts = 0;
+        for (int it = 0; it < wm && cell != nullptr; ++it) {
+            Slot& target = this->tl_[it];
+            const std::uint64_t era = target.era.load(std::memory_order_acquire);
+            // Robust skip: a reader's published era is >= the birth era of
+            // any node it validated, so a slot whose era predates the whole
+            // batch cannot hold any of its nodes. kEraNone means the reader
+            // already left (or never entered) — its next entry revalidates.
+            if (era == kEraNone || era < min_birth) continue;
+            cell->hy_blink = refs_node;
+            std::uintptr_t head = target.head.load(std::memory_order_acquire);
+            bool pushed = false;
+            while (head != detail::kHyHeadDetached) {
+                cell->hy_next.store(reinterpret_cast<ReclaimableBase*>(head),
+                                    std::memory_order_relaxed);
+                if (target.head.compare_exchange_weak(
+                        head, reinterpret_cast<std::uintptr_t>(cell), std::memory_order_acq_rel,
+                        std::memory_order_acquire)) {
+                    pushed = true;
+                    break;
+                }
+            }
+            if (pushed) {
+                ++inserts;
+                // Safe to read after the push: the batch cannot be freed
+                // before the refcount adjustment below settles (a drain that
+                // undershoots only drives hy_refs negative).
+                cell = cell->hy_bnext;
+            }
+        }
+        const std::int64_t prev = refs_node->hy_refs.fetch_add(inserts, std::memory_order_acq_rel);
+        if (prev + inserts == 0) free_batch(refs_node);
+        s.batch_first = nullptr;
+        s.batch_tail = nullptr;
+        s.batch_size = 0;
+        s.batch_min_birth = 0;
+    }
+
+    /// Pops every handed-off cell and drops its batch's refcount; frees the
+    /// batches this drain releases last.
+    void drain(ReclaimableBase* head) {
+        while (head != nullptr) {
+            ReclaimableBase* next = head->hy_next.load(std::memory_order_acquire);
+            ReclaimableBase* refs_node = head->hy_blink;
+            if (refs_node->hy_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                free_batch(refs_node);
+            }
+            head = next;
+        }
+    }
+
+    void free_batch(ReclaimableBase* refs_node) {
+        // Pairs with the readers' coarse era releases (clear_era on leave).
+        Base::acquire_era_edge();
+        std::uint64_t freed = 0;
+        for (ReclaimableBase* node = refs_node; node != nullptr;) {
+            ReclaimableBase* next = node->hy_bnext;
+            Base::free_object(static_cast<T*>(node));
+            ++freed;
+            node = next;
+        }
+        this->note_freed_objects(freed);
+    }
+};
+
+}  // namespace orcgc

@@ -17,48 +17,35 @@
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
-#include "common/asym_fence.hpp"
-#include "common/cacheline.hpp"
-#include "common/marked_ptr.hpp"
-#include "common/orcsan.hpp"
-#include "common/telemetry.hpp"
-#include "common/thread_registry.hpp"
-#include "common/tsan_annotations.hpp"
-#include "reclamation/reclaimable.hpp"
+#include "reclamation/reclaimer_concepts.hpp"
+#include "reclamation/scheme_base.hpp"
 
 namespace orcgc {
 
+namespace detail {
+struct IbrSlotState {
+    std::atomic<std::uint64_t> lower{kEraNone};
+    std::atomic<std::uint64_t> upper{kEraNone};
+    int since_tick = 0;
+};
+}  // namespace detail
+
 template <typename T, int kMaxHPs = 4>
-class IntervalBasedReclaimer {
-    static_assert(std::is_base_of_v<ReclaimableBase, T>,
-                  "IntervalBasedReclaimer requires nodes derived from ReclaimableBase");
+class IntervalBasedReclaimer
+    : public SchemeBase<IntervalBasedReclaimer<T, kMaxHPs>, T, kMaxHPs, detail::IbrSlotState> {
+    static_assert(EraStampedNode<T>,
+                  "IntervalBasedReclaimer requires nodes that carry [birth_era, del_era]");
+    using Base = SchemeBase<IntervalBasedReclaimer<T, kMaxHPs>, T, kMaxHPs, detail::IbrSlotState>;
+    using Slot = typename Base::Slot;
 
   public:
     static constexpr const char* kName = "IBR";
-
-    IntervalBasedReclaimer() = default;
-    IntervalBasedReclaimer(const IntervalBasedReclaimer&) = delete;
-    IntervalBasedReclaimer& operator=(const IntervalBasedReclaimer&) = delete;
-
-    ~IntervalBasedReclaimer() {
-        std::uint64_t freed = 0;
-        for (auto& slot : tl_) {
-            for (T* ptr : slot.retired) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            }
-        }
-        if (freed != 0) metrics_.note_freed(freed);
-    }
+    static constexpr bool kUsesEras = true;
 
     /// Starts an operation: reserve [now, now].
     void begin_op() noexcept {
-        auto& slot = tl_[thread_id()];
+        Slot& slot = this->my_slot();
         const std::uint64_t era = global_era().load(std::memory_order_acquire);
         // One asymmetric publish for the pair: the release store of `lower`
         // is ordered before the publish of `upper` (release sequence on the
@@ -66,87 +53,46 @@ class IntervalBasedReclaimer {
         // also sees the new lower — and one that misses both treats the
         // reservation as ordered after its fence, same as one missed slot.
         slot.lower.store(era, std::memory_order_release);
-        asym::publish(slot.upper, era);
+        Base::publish_era(slot.upper, era);
     }
 
     void end_op() noexcept {
-        // Coarse reader release on the shared clock (see hazard_eras.hpp).
-        ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-        auto& slot = tl_[thread_id()];
+        // Coarse reader release on the shared clock (clear_era).
+        Slot& slot = this->my_slot();
         slot.lower.store(kEraNone, std::memory_order_release);
-        slot.upper.store(kEraNone, std::memory_order_release);
+        Base::clear_era(slot.upper, kEraNone);
     }
 
     /// Protected read: extend the reservation's upper bound to the current
-    /// epoch, then the read value's interval is covered.
+    /// epoch, then the read value's interval is covered. The loop's re-read
+    /// of addr and era re-check are the validation a scan's asym::heavy()
+    /// pairs with (protect_era_loop in scheme_base.hpp).
     T* get_protected(const std::atomic<T*>& addr, int /*idx*/) noexcept {
-        auto& slot = tl_[thread_id()];
-        std::uint64_t prev = slot.upper.load(std::memory_order_relaxed);
-        while (true) {
-            T* ptr = addr.load(std::memory_order_acquire);
-            const std::uint64_t era = global_era().load(std::memory_order_acquire);
-            if (era == prev) {
-#ifdef ORCGC_ORCSAN
-                // Range reservation validated: the read target must not
-                // already be reclaimed (orcsan.hpp, check_protect).
-                if (T* obj = get_unmarked(ptr)) orcsan::check_protect(obj);
-#endif
-                return ptr;
-            }
-            ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-            // The loop's re-read of addr and era re-check are the validation
-            // a scan's asym::heavy() pairs with.
-            asym::publish(slot.upper, era);
-            prev = era;
-        }
+        return this->protect_era_loop(addr, this->my_slot().upper);
     }
     void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {
-        auto& slot = tl_[thread_id()];
-        const std::uint64_t era = global_era().load(std::memory_order_acquire);
-        if (slot.upper.load(std::memory_order_relaxed) != era) {
-            ORC_ANNOTATE_HAPPENS_BEFORE(&global_era());
-            asym::publish(slot.upper, era);
-        }
+        this->refresh_era_reservation(this->my_slot().upper);
     }
     void clear_one(int /*idx*/) noexcept {}
 
     void retire(T* ptr) {
-#ifdef ORCGC_ORCSAN
-        orcsan::on_manual_retire(ptr);
-#endif
-        auto& slot = tl_[thread_id()];
-        ptr->del_era.store(global_era().load(std::memory_order_acquire),
-                           std::memory_order_release);
-        slot.retired.push_back(ptr);
-        metrics_.note_retired();
-        if (++slot.since_tick >= kEpochFrequency) {
-            slot.since_tick = 0;
-            global_era().fetch_add(1, std::memory_order_acq_rel);
-        }
-        if (slot.retired.size() >= scan_threshold()) scan(slot);
+        Slot& slot = this->my_slot();
+        this->note_retire(ptr);
+        Base::stamp_del_era(ptr);
+        this->buffer_retired(slot, ptr);
+        Base::tick_era(slot.since_tick, kEpochFrequency);
+        if (this->past_scan_threshold(slot)) scan(slot);
     }
-
-    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
 
   private:
-    struct alignas(kCacheLineSize) Slot {
-        std::atomic<std::uint64_t> lower{kEraNone};
-        std::atomic<std::uint64_t> upper{kEraNone};
-        std::vector<T*> retired;
-        int since_tick = 0;
-    };
     static constexpr int kEpochFrequency = 64;
-
-    std::size_t scan_threshold() const noexcept {
-        return 4u * thread_id_watermark() + 12;
-    }
 
     bool can_delete(const T* ptr, int watermark) const noexcept {
         const std::uint64_t born = ptr->birth_era;
         const std::uint64_t dead = ptr->del_era.load(std::memory_order_acquire);
         for (int it = 0; it < watermark; ++it) {
-            const std::uint64_t lo = tl_[it].lower.load(std::memory_order_acquire);
-            const std::uint64_t hi = tl_[it].upper.load(std::memory_order_acquire);
+            const std::uint64_t lo = this->tl_[it].lower.load(std::memory_order_acquire);
+            const std::uint64_t hi = this->tl_[it].upper.load(std::memory_order_acquire);
             if (lo == kEraNone) continue;
             // Intervals intersect unless one ends before the other begins.
             if (!(dead < lo || hi < born)) return false;
@@ -155,34 +101,16 @@ class IntervalBasedReclaimer {
     }
 
     void scan(Slot& slot) {
-        metrics_.note_scan();
         // Scan-side half of the asymmetric pair: a range reservation this
         // fence misses was published after every retired node's del_era was
         // stamped — that reader's era re-check (get_protected loop) keeps it
         // from covering a node this scan frees.
-        asym::heavy();
-        ORC_ANNOTATE_HAPPENS_AFTER(&global_era());
+        this->enter_scan();
+        Base::acquire_era_edge();
         const int wm = thread_id_watermark();
-        std::vector<T*> keep;
-        keep.reserve(slot.retired.size());
-        std::uint64_t freed = 0;
-        for (T* ptr : slot.retired) {
-            if (can_delete(ptr, wm)) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            } else {
-                keep.push_back(ptr);
-            }
-        }
-        slot.retired.swap(keep);
-        if (freed != 0) metrics_.note_freed(freed);
+        this->template sweep_retired<false>(slot,
+                                            [&](const T* ptr) { return can_delete(ptr, wm); });
     }
-
-    Slot tl_[kMaxThreads];
-    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

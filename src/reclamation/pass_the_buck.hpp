@@ -19,48 +19,54 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/asym_fence.hpp"
-#include "common/cacheline.hpp"
-#include "common/marked_ptr.hpp"
-#include "common/orcsan.hpp"
-#include "common/telemetry.hpp"
-#include "common/thread_registry.hpp"
-#include "common/tsan_annotations.hpp"
+#include "reclamation/scheme_base.hpp"
 
 namespace orcgc {
 
+namespace detail {
+/// Pointer + version tag, CASed as a unit (DWCAS). The tag makes each
+/// handoff attempt unique so a liberator never confuses an old trapped
+/// value with a new one (ABA on the handoff slot).
+template <typename T>
+struct alignas(16) PtbHandoff {
+    T* ptr = nullptr;
+    std::uint64_t tag = 0;
+    bool operator==(const PtbHandoff&) const = default;
+};
+
+template <typename T, int kMaxHPs>
+struct PtbSlotState {
+    std::atomic<T*> guard[kMaxHPs] = {};
+    std::atomic<PtbHandoff<T>> handoff[kMaxHPs] = {};
+};
+}  // namespace detail
+
 template <typename T, int kMaxHPs = 4>
-class PassTheBuck {
+class PassTheBuck
+    : public SchemeBase<PassTheBuck<T, kMaxHPs>, T, kMaxHPs, detail::PtbSlotState<T, kMaxHPs>> {
+    using Base =
+        SchemeBase<PassTheBuck<T, kMaxHPs>, T, kMaxHPs, detail::PtbSlotState<T, kMaxHPs>>;
+    using Slot = typename Base::Slot;
+    using Handoff = detail::PtbHandoff<T>;
+
   public:
     static constexpr const char* kName = "PTB";
-
-    PassTheBuck() = default;
-    PassTheBuck(const PassTheBuck&) = delete;
-    PassTheBuck& operator=(const PassTheBuck&) = delete;
+    static constexpr bool kUsesEras = false;
 
     ~PassTheBuck() {
-        // Single-threaded teardown: free buffered values and trapped handoffs.
+        // Single-threaded teardown: free trapped handoffs here; the base
+        // destructor then frees the buffered retire bags.
         std::uint64_t freed = 0;
-        for (auto& slot : tl_) {
-            for (T* ptr : slot.retired) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            }
+        for (auto& slot : this->tl_) {
             for (auto& h : slot.handoff) {
                 Handoff cur = h.load(std::memory_order_acquire);
                 if (cur.ptr != nullptr) {
-#ifdef ORCGC_ORCSAN
-                    orcsan::on_manual_free(cur.ptr);
-#endif
-                    delete cur.ptr;
+                    Base::free_object(cur.ptr);
                     ++freed;
                 }
             }
         }
-        if (freed != 0) metrics_.note_freed(freed);
+        this->note_freed_objects(freed);
     }
 
     void begin_op() noexcept {}
@@ -71,74 +77,33 @@ class PassTheBuck {
     }
 
     T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
-        auto& guard = tl_[thread_id()].guard[idx];
-        T* pub = nullptr;
-        for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
-            if (get_unmarked(ptr) == pub) {
-#ifdef ORCGC_ORCSAN
-                // Guard post validated: the trapped target must not already
-                // be reclaimed (orcsan.hpp, check_protect).
-                if (pub != nullptr) orcsan::check_protect(pub);
-#endif
-                return ptr;
-            }
-            pub = get_unmarked(ptr);
-            tsan_release_protection(guard);  // previous post loses coverage
-            // The loop's re-read of addr is the post-publish validation a
-            // liberate pass's asym::heavy() pairs with.
-            asym::publish(guard, pub);
-        }
+        return this->protect_pointer_loop(addr, this->my_slot().guard[idx]);
     }
 
     void protect_ptr(T* ptr, int idx) noexcept {
-        auto& slot = tl_[thread_id()].guard[idx];
-        tsan_release_protection(slot);
-        asym::publish(slot, get_unmarked(ptr));
+        Base::publish_pointer(this->my_slot().guard[idx], get_unmarked(ptr));
     }
 
     void clear_one(int idx) noexcept { clear_one_for(thread_id(), idx); }
 
     void retire(T* ptr) {
-#ifdef ORCGC_ORCSAN
-        orcsan::on_manual_retire(ptr);
-#endif
-        auto& slot = tl_[thread_id()];
-        slot.retired.push_back(ptr);
-        metrics_.note_retired();
-        if (slot.retired.size() >= liberate_threshold()) liberate(slot.retired);
+        Slot& slot = this->my_slot();
+        this->note_retire(ptr);
+        this->buffer_retired(slot, ptr);
+        if (this->past_scan_threshold(slot)) liberate(slot);
     }
 
     /// Retired minus freed: values trapped at guards were retired and not yet
     /// freed, so the balance covers them without walking the handoff slots.
-    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
+    using Base::unreclaimed_count;
 
   private:
-    /// Pointer + version tag, CASed as a unit (DWCAS). The tag makes each
-    /// handoff attempt unique so a liberator never confuses an old trapped
-    /// value with a new one (ABA on the handoff slot).
-    struct alignas(16) Handoff {
-        T* ptr = nullptr;
-        std::uint64_t tag = 0;
-        bool operator==(const Handoff&) const = default;
-    };
-
-    struct alignas(kCacheLineSize) Slot {
-        std::atomic<T*> guard[kMaxHPs] = {};
-        std::atomic<Handoff> handoff[kMaxHPs] = {};
-        std::vector<T*> retired;
-    };
-
-    std::size_t liberate_threshold() const noexcept {
-        return static_cast<std::size_t>(kMaxHPs) * thread_id_watermark() + kMaxHPs + 8;
-    }
-
     void clear_one_for(int tid, int idx) noexcept {
-        auto& slot = tl_[tid];
-        tsan_release_protection(slot.guard[idx]);
+        Slot& slot = this->tl_[tid];
         // Release suffices for the clear: a liberator reading the stale
         // non-null guard hands off conservatively, and the handoff CAS below
         // is an acq_rel RMW that always takes the latest trapped value.
-        slot.guard[idx].store(nullptr, std::memory_order_release);
+        Base::clear_pointer(slot.guard[idx]);
         // Collect any value trapped at this guard; we are now responsible
         // for liberating it.
         Handoff cur = slot.handoff[idx].load(std::memory_order_acquire);
@@ -147,27 +112,27 @@ class PassTheBuck {
                                                         std::memory_order_acq_rel)) {
                 // Collected, not retired anew: the value was already counted
                 // when its original owner called retire().
-                slot.retired.push_back(cur.ptr);
+                this->buffer_retired(slot, cur.ptr);
                 break;
             }
         }
     }
 
-    /// Hands off every value in `vs` that some guard posts to that guard
+    /// Hands off every buffered value that some guard posts to that guard
     /// (swapping out any previous handoff, which joins our responsibility
     /// set), then frees the values no guard posts. Values that remain posted
-    /// but could not be handed off (CAS races) stay buffered in `vs`.
-    void liberate(std::vector<T*>& vs) {
-        metrics_.note_scan();
+    /// but could not be handed off (CAS races) stay buffered.
+    void liberate(Slot& me) {
+        std::vector<T*>& vs = me.retired[0];
         // Scan-side half of the asymmetric pair: every value in vs was
         // unlinked before retire() buffered it, so a guard post this fence
         // misses was ordered after the unlink — that reader's validation
         // re-read rejects the node before dereferencing.
-        asym::heavy();
+        this->enter_scan();
         const int wm = thread_id_watermark();
         for (int it = 0; it < wm; ++it) {
             for (int idx = 0; idx < kMaxHPs; ++idx) {
-                auto& slot = tl_[it];
+                Slot& slot = this->tl_[it];
                 T* posted = slot.guard[idx].load(std::memory_order_acquire);
                 if (posted == nullptr) continue;
                 auto pos = std::find(vs.begin(), vs.end(), posted);
@@ -188,31 +153,15 @@ class PassTheBuck {
         hazards.reserve(static_cast<std::size_t>(wm) * kMaxHPs);
         for (int it = 0; it < wm; ++it) {
             for (int idx = 0; idx < kMaxHPs; ++idx) {
-                if (T* g = tl_[it].guard[idx].load(std::memory_order_acquire)) {
+                if (T* g = this->tl_[it].guard[idx].load(std::memory_order_acquire)) {
                     hazards.push_back(g);
                 }
             }
         }
-        std::vector<T*> keep;
-        std::uint64_t freed = 0;
-        for (T* ptr : vs) {
-            if (std::find(hazards.begin(), hazards.end(), ptr) != hazards.end()) {
-                keep.push_back(ptr);
-            } else {
-                ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // liberate scan found no guard
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            }
-        }
-        vs.swap(keep);
-        if (freed != 0) metrics_.note_freed(freed);
+        this->template sweep_retired<true>(me, [&](T* ptr) {
+            return std::find(hazards.begin(), hazards.end(), ptr) == hazards.end();
+        });
     }
-
-    Slot tl_[kMaxThreads];
-    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

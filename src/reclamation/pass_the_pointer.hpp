@@ -19,41 +19,44 @@
 #include <atomic>
 #include <cstddef>
 
-#include "common/asym_fence.hpp"
-#include "common/cacheline.hpp"
-#include "common/marked_ptr.hpp"
-#include "common/orcsan.hpp"
-#include "common/telemetry.hpp"
-#include "common/thread_registry.hpp"
-#include "common/tsan_annotations.hpp"
+#include "reclamation/scheme_base.hpp"
 
 namespace orcgc {
 
+namespace detail {
+template <typename T, int kMaxHPs>
+struct PtpSlotState {
+    std::atomic<T*> hp[kMaxHPs] = {};
+    // Separate line from hp: any thread writes handovers, only the owner
+    // writes hp (§3.1 "separate bi-dimensional array ... avoid
+    // false-sharing").
+    alignas(kCacheLineSize) std::atomic<T*> handovers[kMaxHPs] = {};
+};
+}  // namespace detail
+
 template <typename T, int kMaxHPs = 4>
-class PassThePointer {
+class PassThePointer : public SchemeBase<PassThePointer<T, kMaxHPs>, T, kMaxHPs,
+                                         detail::PtpSlotState<T, kMaxHPs>> {
+    using Base =
+        SchemeBase<PassThePointer<T, kMaxHPs>, T, kMaxHPs, detail::PtpSlotState<T, kMaxHPs>>;
+
   public:
     static constexpr const char* kName = "PTP";
-
-    PassThePointer() = default;
-    PassThePointer(const PassThePointer&) = delete;
-    PassThePointer& operator=(const PassThePointer&) = delete;
+    static constexpr bool kUsesEras = false;
 
     ~PassThePointer() {
         // Single-threaded teardown: anything still parked is unreachable.
         std::uint64_t freed = 0;
-        for (auto& slot : tl_) {
+        for (auto& slot : this->tl_) {
             for (auto& h : slot.handovers) {
                 if (T* ptr = h.exchange(nullptr, std::memory_order_acq_rel)) {
                     ORC_ANNOTATE_HAPPENS_AFTER(ptr);
-#ifdef ORCGC_ORCSAN
-                    orcsan::on_manual_free(ptr);
-#endif
-                    delete ptr;
+                    Base::free_object(ptr);
                     ++freed;
                 }
             }
         }
-        if (freed != 0) metrics_.note_freed(freed);
+        this->note_freed_objects(freed);
     }
 
     void begin_op() noexcept {}
@@ -69,59 +72,31 @@ class PassThePointer {
     /// handover_or_delete is the new synchronizing edge), and its seqcst mode
     /// reproduces the old exchange for bench_publish_ablation's A/B rows.
     T* get_protected(const std::atomic<T*>& addr, int idx) noexcept {
-        auto& hp = tl_[thread_id()].hp[idx];
-        T* pub = nullptr;
-        for (T* ptr = addr.load(std::memory_order_acquire);; ptr = addr.load(std::memory_order_acquire)) {
-            if (get_unmarked(ptr) == pub) {
-#ifdef ORCGC_ORCSAN
-                // Publication validated: the protected target must not
-                // already be reclaimed (orcsan.hpp, check_protect).
-                if (pub != nullptr) orcsan::check_protect(pub);
-#endif
-                return ptr;
-            }
-            pub = get_unmarked(ptr);
-            tsan_release_protection(hp);  // previous publication loses coverage
-            asym::publish(hp, pub);
-        }
+        return this->protect_pointer_loop(addr, this->my_slot().hp[idx]);
     }
 
     void protect_ptr(T* ptr, int idx) noexcept {
-        auto& slot = tl_[thread_id()].hp[idx];
-        tsan_release_protection(slot);
-        asym::publish(slot, get_unmarked(ptr));
+        Base::publish_pointer(this->my_slot().hp[idx], get_unmarked(ptr));
     }
 
     /// Algorithm 2 lines 13–20: unpublish and drain the paired handover.
     void clear_one(int idx) noexcept { clear_one_for(thread_id(), idx); }
 
-    /// Algorithm 2 line 22.
+    /// Algorithm 2 line 22. No buffering: the handover scan runs per retire.
     void retire(T* ptr) {
-#ifdef ORCGC_ORCSAN
-        orcsan::on_manual_retire(ptr);
-#endif
-        metrics_.note_retired();
+        this->note_retire(ptr);
         handover_or_delete(ptr, 0);
     }
 
     /// Retired minus freed — i.e. the pointers currently parked in handover
     /// slots (the scheme has no other buffering, so this *is* the unreclaimed
     /// population).
-    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
+    using Base::unreclaimed_count;
 
   private:
-    struct alignas(kCacheLineSize) Slot {
-        std::atomic<T*> hp[kMaxHPs] = {};
-        // Separate line from hp: any thread writes handovers, only the owner
-        // writes hp (§3.1 "separate bi-dimensional array ... avoid
-        // false-sharing").
-        alignas(kCacheLineSize) std::atomic<T*> handovers[kMaxHPs] = {};
-    };
-
     void clear_one_for(int tid, int idx) noexcept {
-        auto& slot = tl_[tid];
-        tsan_release_protection(slot.hp[idx]);
-        slot.hp[idx].store(nullptr, std::memory_order_release);
+        auto& slot = this->tl_[tid];
+        Base::clear_pointer(slot.hp[idx]);
         if (slot.handovers[idx].load(std::memory_order_acquire) != nullptr) {
             if (T* ptr = slot.handovers[idx].exchange(nullptr, std::memory_order_acq_rel)) {
                 // We just unprotected the slot that parked this pointer; we
@@ -135,35 +110,28 @@ class PassThePointer {
 
     /// Algorithm 2 lines 24–37.
     void handover_or_delete(T* ptr, int start_tid) {
-        metrics_.note_scan();
         // Scan-side half of the asymmetric pair: ptr was unlinked before
         // retire()/the drain handed it here, so a publish this fence misses
         // was ordered after the unlink and that reader's validation re-read
         // rejects it.
-        asym::heavy();
+        this->enter_scan();
         const int wm = thread_id_watermark();
         for (int it = start_tid; it < wm; ++it) {
             for (int idx = 0; idx < kMaxHPs;) {
-                if (tl_[it].hp[idx].load(std::memory_order_acquire) == ptr) {
-                    ptr = tl_[it].handovers[idx].exchange(ptr, std::memory_order_acq_rel);
+                if (this->tl_[it].hp[idx].load(std::memory_order_acquire) == ptr) {
+                    ptr = this->tl_[it].handovers[idx].exchange(ptr, std::memory_order_acq_rel);
                     if (ptr == nullptr) return;
                     // The swapped-out pointer may itself be protected by this
                     // same slot; if so re-park here before moving on.
-                    if (tl_[it].hp[idx].load(std::memory_order_acquire) == ptr) continue;
+                    if (this->tl_[it].hp[idx].load(std::memory_order_acquire) == ptr) continue;
                 }
                 ++idx;
             }
         }
         ORC_ANNOTATE_HAPPENS_AFTER(ptr);  // full scan found no protection
-#ifdef ORCGC_ORCSAN
-        orcsan::on_manual_free(ptr);
-#endif
-        delete ptr;
-        metrics_.note_freed();
+        Base::free_object(ptr);
+        this->note_freed_objects(1);
     }
-
-    Slot tl_[kMaxThreads];
-    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

@@ -2,11 +2,12 @@
 //
 // Table 1 of the paper compares "extra words per object": HP/PTB/PTP need
 // none, HE/IBR need two (an interval [birth_era, del_era] recording when the
-// object was visible). To let one benchmark node type run under every
-// scheme, ReclaimableBase always carries the two era words; schemes that do
-// not need them simply never read them. (The two words therefore measure the
-// *scheme's* requirement, not the node layout — the bound experiments count
-// objects, not bytes.)
+// object was visible), and Hyaline needs link words for its intrusive batch
+// lists. To let one benchmark node type run under every scheme,
+// ReclaimableBase always carries all of them; schemes that do not need them
+// simply never read them. (The words therefore measure the *scheme's*
+// requirement, not the node layout — the bound experiments count objects,
+// not bytes.)
 //
 // The era/epoch clock is a single process-global monotonic counter shared by
 // HE, IBR and EBR. Sharing one clock is semantically harmless (eras are only
@@ -34,8 +35,24 @@ struct ReclaimableBase {
     /// Era at which the object was retired (HE: delEra, IBR: retire epoch).
     std::atomic<std::uint64_t> del_era;
 
+    // Hyaline's intrusive links (hyaline.hpp). A retired node is threaded
+    // onto per-reader slot lists (hy_next), chained to its batch siblings
+    // (hy_bnext), and pointed at the batch's REFS node (hy_blink), whose
+    // hy_refs word counts the slot lists that still reference the batch.
+    // All four are written only between retire() and the batch free, so
+    // they never race with the object's useful life.
+    std::atomic<ReclaimableBase*> hy_next;
+    ReclaimableBase* hy_bnext;
+    ReclaimableBase* hy_blink;
+    std::atomic<std::int64_t> hy_refs;
+
     ReclaimableBase() noexcept
-        : birth_era(global_era().load(std::memory_order_acquire)), del_era(kEraNone) {}
+        : birth_era(global_era().load(std::memory_order_acquire)),
+          del_era(kEraNone),
+          hy_next(nullptr),
+          hy_bnext(nullptr),
+          hy_blink(nullptr),
+          hy_refs(0) {}
 };
 
 }  // namespace orcgc

@@ -1,11 +1,14 @@
-// C++20 concept describing the manual-reclamation interface shared by all
+// C++20 concepts describing the manual-reclamation interface shared by all
 // schemes in this directory. Data structures template over a Reclaimer and
-// this concept keeps the duck typing honest at the point of instantiation.
+// these concepts keep the duck typing honest at the point of instantiation.
 #pragma once
 
 #include <atomic>
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
+
+#include "reclamation/reclaimable.hpp"
 
 namespace orcgc {
 
@@ -19,6 +22,26 @@ concept ManualReclaimer = requires(R r, const R cr, std::atomic<T*> addr, T* ptr
     { r.retire(ptr) };
     { cr.unreclaimed_count() } -> std::same_as<std::size_t>;
     { R::kName } -> std::convertible_to<const char*>;
+    // Every scheme states whether its retire path stamps node eras —
+    // era-stamped schemes (HE, IBR, Hyaline) declare the requirement here
+    // instead of duck-typing past it (see EraStampedReclaimer below).
+    { R::kUsesEras } -> std::convertible_to<bool>;
 };
+
+/// A node type carrying the visibility interval the era-stamped schemes
+/// read and write: `birth_era` recorded at construction, `del_era` stamped
+/// by retire(). ReclaimableBase provides both.
+template <typename T>
+concept EraStampedNode = std::derived_from<T, ReclaimableBase> && requires(T* p, const T* cp) {
+    { cp->birth_era } -> std::convertible_to<std::uint64_t>;
+    { p->del_era.store(std::uint64_t{}, std::memory_order_release) };
+};
+
+/// A manual scheme that declared kUsesEras, instantiated with a node type
+/// that actually carries the interval. Structures that support era schemes
+/// assert this instead of waiting for a member-access error deep inside the
+/// scheme (michael_list.hpp shows the pattern).
+template <typename R, typename T>
+concept EraStampedReclaimer = ManualReclaimer<R, T> && R::kUsesEras && EraStampedNode<T>;
 
 }  // namespace orcgc

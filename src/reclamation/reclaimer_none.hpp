@@ -7,38 +7,21 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
-#include <vector>
 
-#include "common/cacheline.hpp"
-#include "common/orcsan.hpp"
-#include "common/telemetry.hpp"
-#include "common/thread_registry.hpp"
+#include "reclamation/scheme_base.hpp"
 
 namespace orcgc {
 
+namespace detail {
+struct NoneSlotState {};
+}  // namespace detail
+
 template <typename T, int kMaxHPs = 4>
-class ReclaimerNone {
+class ReclaimerNone
+    : public SchemeBase<ReclaimerNone<T, kMaxHPs>, T, kMaxHPs, detail::NoneSlotState> {
   public:
     static constexpr const char* kName = "None";
-
-    ReclaimerNone() = default;
-    ReclaimerNone(const ReclaimerNone&) = delete;
-    ReclaimerNone& operator=(const ReclaimerNone&) = delete;
-
-    ~ReclaimerNone() {
-        std::uint64_t freed = 0;
-        for (auto& slot : retired_) {
-            for (T* ptr : slot.list) {
-#ifdef ORCGC_ORCSAN
-                orcsan::on_manual_free(ptr);
-#endif
-                delete ptr;
-                ++freed;
-            }
-        }
-        if (freed != 0) metrics_.note_freed(freed);
-    }
+    static constexpr bool kUsesEras = false;
 
     void begin_op() noexcept {}
     void end_op() noexcept {}
@@ -49,22 +32,12 @@ class ReclaimerNone {
     void protect_ptr(T* /*ptr*/, int /*idx*/) noexcept {}
     void clear_one(int /*idx*/) noexcept {}
 
+    /// Parks forever; the base destructor frees the bags at teardown.
     void retire(T* ptr) {
-#ifdef ORCGC_ORCSAN
-        orcsan::on_manual_retire(ptr);
-#endif
-        retired_[thread_id()].list.push_back(ptr);
-        metrics_.note_retired();
+        auto& slot = this->my_slot();
+        this->note_retire(ptr);
+        this->buffer_retired(slot, ptr);
     }
-
-    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
-
-  private:
-    struct alignas(kCacheLineSize) Slot {
-        std::vector<T*> list;
-    };
-    Slot retired_[kMaxThreads];
-    telemetry::SchemeMetrics metrics_{kName};
 };
 
 }  // namespace orcgc

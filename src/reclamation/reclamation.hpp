@@ -1,12 +1,15 @@
 // Umbrella header for all manual reclamation schemes.
 #pragma once
 
+#include "reclamation/debra.hpp"
 #include "reclamation/epoch_based.hpp"
 #include "reclamation/hazard_eras.hpp"
 #include "reclamation/hazard_pointers.hpp"
+#include "reclamation/hyaline.hpp"
 #include "reclamation/interval_based.hpp"
 #include "reclamation/pass_the_buck.hpp"
 #include "reclamation/pass_the_pointer.hpp"
 #include "reclamation/reclaimable.hpp"
 #include "reclamation/reclaimer_concepts.hpp"
 #include "reclamation/reclaimer_none.hpp"
+#include "reclamation/scheme_base.hpp"

@@ -1,0 +1,316 @@
+// Shared substrate for the manual reclamation schemes (CRTP).
+//
+// Every scheme in this directory used to hand-roll the same ~170 lines: a
+// cacheline-padded per-thread slot array keyed by thread_id(), retire-list
+// vectors with a scan threshold, telemetry wiring, OrcSan hooks, and ad-hoc
+// asym::publish call sites. This base owns all of it exactly once, so a
+// scheme file shrinks to its scheme-specific scan/era logic and the memory
+// orders of the shared paths are audited in one place (orc-lint R12 keeps it
+// that way: no slot arrays, retire vectors, or SchemeMetrics outside this
+// file).
+//
+// What lives here vs. in a scheme:
+//   base   per-thread Slot array (padded, `State` mixin per scheme), the
+//          kMaxThreads-exhaustion fatal() diagnostic, retire bags with the
+//          shared *adaptive* scan threshold, protection publication
+//          (asym::publish + TSan edges) for both pointer slots and era
+//          reservations, the validated protect loops, the scan-entry
+//          asym::heavy() placement, era stamping/ticking, OrcSan
+//          on_manual_* hooks, and the telemetry::SchemeMetrics provider.
+//   scheme which protection words its State carries, when to scan, and how
+//          a scan decides an object is unreachable (hazard match, era
+//          interval, epoch grace, handoff/handover protocols, batch
+//          refcounts).
+//
+// Memory-ordering contract of the shared publish path (DESIGN.md §1.3d):
+// publish_pointer()/publish_era() are a release store + asym::light()
+// (compiler barrier) — NO fence on the reader side. The pairing heavy fence
+// is issued once per scan entry by enter_scan(); readers revalidate after
+// publishing (the protect loops re-read the source), so a publish the fence
+// misses was ordered after the unlink and its owner's validation rejects the
+// node. clear_* are plain release stores: a stale non-null value only makes
+// a scan conservative.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/asym_fence.hpp"
+#include "common/cacheline.hpp"
+#include "common/fatal.hpp"
+#include "common/marked_ptr.hpp"
+#include "common/orcsan.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_registry.hpp"
+#include "common/tsan_annotations.hpp"
+#include "reclamation/reclaimable.hpp"
+
+namespace orcgc {
+
+/// CRTP base for manual schemes.
+///   Derived      the scheme (provides kName, kUsesEras, the scan logic)
+///   T            node type
+///   kMaxHPs      protection indices per thread (the paper's H)
+///   State        per-thread protection words, mixed into the padded Slot
+///   RetiredItem  element type of the retire bags (T*, or a struct carrying
+///                extra per-retire data — see ptr_of())
+///   kBags        retire bags per slot (DEBRA's epoch rotation uses 3)
+template <typename Derived, typename T, int kMaxHPs, typename State,
+          typename RetiredItem = T*, int kBags = 1>
+class SchemeBase {
+  public:
+    SchemeBase() : metrics_(Derived::kName) {}
+    SchemeBase(const SchemeBase&) = delete;
+    SchemeBase& operator=(const SchemeBase&) = delete;
+
+    /// Frees everything still buffered in the retire bags. Runs after the
+    /// derived destructor, so schemes free their scheme-specific parking
+    /// spots (handoffs, handovers, batch lists) first.
+    ~SchemeBase() {
+        std::uint64_t freed = 0;
+        for (auto& slot : tl_) {
+            for (auto& bag : slot.retired) {
+                for (auto& item : bag) {
+                    free_object(Derived::ptr_of(item));
+                    ++freed;
+                }
+            }
+        }
+        if (freed != 0) metrics_.note_freed(freed);
+    }
+
+    /// Retired minus freed, from the telemetry counters (compiled out in the
+    /// overhead-baseline build, where this reads 0).
+    std::size_t unreclaimed_count() const noexcept { return metrics_.unreclaimed(); }
+
+  protected:
+    /// Padded per-thread slot: the scheme's protection words plus the shared
+    /// retire bags and adaptive-threshold state.
+    struct alignas(kCacheLineSize) Slot : State {
+        std::vector<RetiredItem> retired[kBags];
+        std::uint8_t threshold_shift = 0;
+    };
+
+    /// The calling thread's slot. This is the one place schemes key into the
+    /// array; registry exhaustion fatal()s inside thread_id(), and the
+    /// re-check below keeps the substrate self-contained if that contract
+    /// ever loosens (one always-predicted branch).
+    Slot& my_slot() noexcept {
+        const int tid = thread_id();
+        if (tid < 0 || tid >= kMaxThreads) {
+            fatal("orcgc: scheme %s: thread id %d outside [0, kMaxThreads=%d) — "
+                  "more concurrent threads than the registry supports",
+                  Derived::kName, tid, kMaxThreads);
+        }
+        return tl_[tid];
+    }
+
+    // ---- protection publication (the ONE audited memory-order site) ------
+
+    /// Publishes a pointer-protection slot (HP/PTB/PTP): per-object TSan
+    /// release for the value losing coverage, then release + asym::light().
+    static void publish_pointer(std::atomic<T*>& word, T* value) noexcept {
+        tsan_release_protection(word);
+        asym::publish(word, value);
+    }
+
+    /// Clears a pointer-protection slot. Release suffices: a scan reading
+    /// the stale non-null value only keeps the object conservatively.
+    static void clear_pointer(std::atomic<T*>& word) noexcept {
+        tsan_release_protection(word);
+        word.store(nullptr, std::memory_order_release);
+    }
+
+    /// Publishes an era/epoch reservation word. Era schemes cannot name the
+    /// objects a reservation covered, so the TSan edge is coarse: a release
+    /// on the shared era clock (paired by acquire_era_edge() before frees).
+    static void publish_era(std::atomic<std::uint64_t>& word, std::uint64_t value) noexcept {
+        release_era_edge();
+        asym::publish(word, value);
+    }
+
+    /// Clears an era reservation to `cleared` (kEraNone, or EBR's sentinel).
+    static void clear_era(std::atomic<std::uint64_t>& word, std::uint64_t cleared) noexcept {
+        release_era_edge();
+        word.store(cleared, std::memory_order_release);
+    }
+
+    /// Coarse reader-side release on the era clock (see publish_era).
+    static void release_era_edge() noexcept { ORC_ANNOTATE_HAPPENS_BEFORE(&global_era()); }
+    /// Reclaimer-side acquire before an era-justified free batch.
+    static void acquire_era_edge() noexcept { ORC_ANNOTATE_HAPPENS_AFTER(&global_era()); }
+
+    // ---- validated protect loops ------------------------------------------
+
+    /// The hazard-publication loop shared by the pointer-based schemes:
+    /// publish the unmarked target, then re-read the source until stable.
+    /// The re-read is the validation a scan's asym::heavy() pairs with — a
+    /// publish the fence misses was ordered after the unlink, and this loop
+    /// observes that unlink before returning.
+    T* protect_pointer_loop(const std::atomic<T*>& addr, std::atomic<T*>& word) noexcept {
+        T* pub = nullptr;
+        for (T* ptr = addr.load(std::memory_order_acquire);;
+             ptr = addr.load(std::memory_order_acquire)) {
+            if (get_unmarked(ptr) == pub) {
+                san_check_protect(pub);
+                return ptr;
+            }
+            pub = get_unmarked(ptr);
+            publish_pointer(word, pub);
+        }
+    }
+
+    /// The era-reservation loop shared by HE (per-index), IBR (upper bound)
+    /// and Hyaline (per-slot era): re-read the source until the era clock is
+    /// stable across the read, republishing the reservation on every tick.
+    T* protect_era_loop(const std::atomic<T*>& addr, std::atomic<std::uint64_t>& word) noexcept {
+        std::uint64_t prev = word.load(std::memory_order_relaxed);
+        while (true) {
+            T* ptr = addr.load(std::memory_order_acquire);
+            const std::uint64_t era = global_era().load(std::memory_order_acquire);
+            if (era == prev) {
+                san_check_protect(get_unmarked(ptr));
+                return ptr;
+            }
+            publish_era(word, era);
+            prev = era;
+        }
+    }
+
+    /// protect_ptr() for era schemes: reserving the current era protects
+    /// everything alive now — a superset of any single target.
+    void refresh_era_reservation(std::atomic<std::uint64_t>& word) noexcept {
+        const std::uint64_t era = global_era().load(std::memory_order_acquire);
+        if (word.load(std::memory_order_relaxed) != era) publish_era(word, era);
+    }
+
+    // ---- era bookkeeping for stamped schemes ------------------------------
+
+    /// Stamps the node's deletion era at retire time (EraStampedNode field).
+    static void stamp_del_era(T* ptr) noexcept {
+        ptr->del_era.store(global_era().load(std::memory_order_acquire),
+                           std::memory_order_release);
+    }
+
+    /// Advances the shared era clock every `freq` calls ("epoch advances
+    /// with the retire rate"); returns true on the tick.
+    static bool tick_era(int& since, int freq) noexcept {
+        if (++since < freq) return false;
+        since = 0;
+        global_era().fetch_add(1, std::memory_order_acq_rel);
+        return true;
+    }
+
+    // ---- retire bags with the shared adaptive threshold -------------------
+
+    /// OrcSan + telemetry prologue shared by every retire().
+    void note_retire(T* ptr) noexcept {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_retire(ptr);
+#else
+        (void)ptr;
+#endif
+        metrics_.note_retired();
+    }
+
+    void buffer_retired(Slot& slot, RetiredItem item, int bag = 0) {
+        slot.retired[bag].push_back(item);
+    }
+
+    /// Adaptive scan threshold: the classic H·t + H + slack base, widened
+    /// (up to 8x) while scans come back nearly empty — a backlog pinned by
+    /// long-lived protections makes rescanning sooner pure heavy-fence burn —
+    /// and snapped back to the base as soon as scans free half their input.
+    /// The cap keeps every scheme's Table-1 bound within a constant factor.
+    std::size_t scan_threshold(const Slot& slot) const noexcept {
+        const std::size_t base =
+            static_cast<std::size_t>(kMaxHPs) * thread_id_watermark() + kMaxHPs + 8;
+        return base << slot.threshold_shift;
+    }
+
+    bool past_scan_threshold(const Slot& slot, int bag = 0) const noexcept {
+        return slot.retired[bag].size() >= scan_threshold(slot);
+    }
+
+    /// Scan entry: counts the pass and issues the one heavy fence that pairs
+    /// with every reader-side publish since the last scan.
+    void enter_scan() noexcept {
+        metrics_.note_scan();
+        asym::heavy();
+    }
+
+    /// Sweeps one retire bag: frees every item `can_free` approves, keeps
+    /// the rest, feeds the adaptive threshold, and counts the frees.
+    /// kAnnotatePerObject: pointer-based scans name the object they proved
+    /// unprotected; era scans use the coarse clock edge instead.
+    template <bool kAnnotatePerObject, typename CanFree>
+    void sweep_retired(Slot& slot, CanFree&& can_free, int bag = 0) {
+        auto& list = slot.retired[bag];
+        const std::size_t scanned = list.size();
+        std::vector<RetiredItem> keep;
+        keep.reserve(scanned);
+        std::uint64_t freed = 0;
+        for (auto& item : list) {
+            if (can_free(item)) {
+                T* ptr = Derived::ptr_of(item);
+                if constexpr (kAnnotatePerObject) ORC_ANNOTATE_HAPPENS_AFTER(ptr);
+                free_object(ptr);
+                ++freed;
+            } else {
+                keep.push_back(item);
+            }
+        }
+        adapt_scan_threshold(slot, scanned, freed);
+        list.swap(keep);
+        if (freed != 0) metrics_.note_freed(freed);
+    }
+
+    void adapt_scan_threshold(Slot& slot, std::size_t scanned, std::size_t freed) noexcept {
+        if (scanned == 0) return;
+        if (freed * 4 < scanned) {
+            if (slot.threshold_shift < kMaxThresholdShift) ++slot.threshold_shift;
+        } else if (freed * 2 >= scanned) {
+            slot.threshold_shift = 0;
+        }
+    }
+
+    // ---- the free path ----------------------------------------------------
+
+    /// OrcSan hook + delete. Callers that free outside sweep_retired() count
+    /// through note_freed_objects().
+    static void free_object(T* ptr) noexcept {
+#ifdef ORCGC_ORCSAN
+        orcsan::on_manual_free(ptr);
+#endif
+        delete ptr;
+    }
+
+    void note_freed_objects(std::uint64_t n) noexcept {
+        if (n != 0) metrics_.note_freed(n);
+    }
+
+    /// Extra scan passes beyond enter_scan() (bag rotations, drains).
+    void note_scan_pass() noexcept { metrics_.note_scan(); }
+
+    /// Protection-validated deref gate (no-op without -DORCGC_ORCSAN).
+    static void san_check_protect(T* obj) noexcept {
+#ifdef ORCGC_ORCSAN
+        if (obj != nullptr) orcsan::check_protect(obj);
+#else
+        (void)obj;
+#endif
+    }
+
+    /// Identity for plain T* bags; schemes with struct items shadow this.
+    static T* ptr_of(T* ptr) noexcept { return ptr; }
+
+    static constexpr std::uint8_t kMaxThresholdShift = 3;
+
+    Slot tl_[kMaxThreads];
+
+  private:
+    telemetry::SchemeMetrics metrics_;
+};
+
+}  // namespace orcgc

@@ -66,6 +66,8 @@ TEST(Differential, AllSetImplementationsAgreeOnRandomTapes) {
         const auto tape = make_tape(seed, stress_iters(6000), 96);
         const auto reference = run_tape<MichaelList<Key, HazardPointers>>(tape);
         EXPECT_EQ((run_tape<MichaelList<Key, PassThePointer>>(tape)), reference) << seed;
+        EXPECT_EQ((run_tape<MichaelList<Key, Hyaline>>(tape)), reference) << seed;
+        EXPECT_EQ((run_tape<MichaelList<Key, Debra>>(tape)), reference) << seed;
         EXPECT_EQ(run_tape<MichaelListOrc<Key>>(tape), reference) << seed;
         EXPECT_EQ(run_tape<HarrisListOrc<Key>>(tape), reference) << seed;
         EXPECT_EQ(run_tape<HSListOrc<Key>>(tape), reference) << seed;

@@ -130,6 +130,16 @@ TEST(OrcLintFixtures, R11FiresOnRawThreadInEngine) {
     EXPECT_EQ(count_rule(r.output, "R11"), 2) << r.output;
 }
 
+TEST(OrcLintFixtures, R12FiresOnSubstrateForksInSchemeFiles) {
+    const LintResult r = run_lint(fixture("bad_r12"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The raw slot array, the ad-hoc retire vector, and the scheme-owned
+    // SchemeMetrics; the scan scratch vector, the plain loop bound and the
+    // justified suppression stay silent. (scheme_base.hpp itself is exempt —
+    // the substrate being clean is covered by RepositoryTreeIsClean.)
+    EXPECT_EQ(count_rule(r.output, "R12"), 3) << r.output;
+}
+
 TEST(OrcLintFixtures, BareSuppressionIsAnErrorAndDoesNotSuppress) {
     const LintResult r = run_lint(fixture("bad_suppression"));
     EXPECT_EQ(r.exit_code, 1) << r.output;

@@ -1,7 +1,8 @@
 // Parameterized property sweeps (TEST_P): set linearizability witnesses and
-// leak-freedom across thread-count × op-mix grids, the PTP linear-bound
-// property across thread counts, queue transfer invariants across thread
-// counts, and engine edge-case behaviors (index churn, thread-exit drain).
+// leak-freedom across thread-count × op-mix grids (for the OrcGC list and
+// for the Hyaline/DEBRA manual schemes), the PTP linear-bound property
+// across thread counts, queue transfer invariants across thread counts, and
+// engine edge-case behaviors (index churn, thread-exit drain).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -18,6 +19,8 @@
 #include "ds/orc/lcrq_orc.hpp"
 #include "ds/orc/michael_list_orc.hpp"
 #include "ds/orc/ms_queue_orc.hpp"
+#include "reclamation/debra.hpp"
+#include "reclamation/hyaline.hpp"
 #include "reclamation/pass_the_pointer.hpp"
 
 namespace orcgc {
@@ -78,6 +81,78 @@ TEST_P(SetChurnProperty, OrcListKeepsSetSemanticsAndLeaksNothing) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadsByMix, SetChurnProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(0, 1, 2)),
+                         [](const auto& param_info) {
+                             return "t" + std::to_string(std::get<0>(param_info.param)) +
+                                    "_mix" + std::to_string(std::get<1>(param_info.param));
+                         });
+
+// ----------------------------------------- manual-scheme churn (same grid)
+
+// The same churn property over the two newest manual schemes, so Hyaline's
+// batch refcounting and DEBRA's bag rotation face the same thread × mix grid
+// — and the same leak/double-free/dead-access accounting — as the OrcGC list.
+template <typename List>
+void run_manual_churn(int threads, const OpMix& mix) {
+    constexpr Key kKeyRange = 24;
+    const int kOpsEach = stress_iters(1500);
+
+    auto& counters = AllocCounters::instance();
+    const auto live_before = counters.live_count();
+    {
+        List list;
+        std::atomic<std::int64_t> ins[kKeyRange] = {};
+        std::atomic<std::int64_t> rem[kKeyRange] = {};
+        SpinBarrier barrier(threads);
+        std::vector<std::thread> workers;
+        for (int t = 0; t < threads; ++t) {
+            workers.emplace_back([&, t] {
+                Xoshiro256 rng(7000 + 17 * t);
+                barrier.arrive_and_wait();
+                for (int i = 0; i < kOpsEach; ++i) {
+                    const Key k = next_key(rng, kKeyRange);
+                    switch (next_op(rng, mix)) {
+                        case SetOp::kInsert:
+                            if (list.insert(k)) ins[k].fetch_add(1, std::memory_order_relaxed);
+                            break;
+                        case SetOp::kRemove:
+                            if (list.remove(k)) rem[k].fetch_add(1, std::memory_order_relaxed);
+                            break;
+                        case SetOp::kContains:
+                            list.contains(k);
+                            break;
+                    }
+                }
+            });
+        }
+        for (auto& w : workers) w.join();
+        for (Key k = 0; k < kKeyRange; ++k) {
+            const auto balance = ins[k].load() - rem[k].load();
+            ASSERT_GE(balance, 0) << "key " << k;
+            ASSERT_LE(balance, 1) << "key " << k;
+            EXPECT_EQ(list.contains(k), balance == 1) << "key " << k;
+        }
+    }
+    EXPECT_EQ(counters.live_count(), live_before);
+    EXPECT_EQ(counters.double_destroys(), 0);
+    EXPECT_EQ(counters.dead_accesses(), 0);
+}
+
+class ManualSchemeChurnProperty
+    : public ::testing::TestWithParam<std::tuple<int /*threads*/, int /*mix index*/>> {};
+
+TEST_P(ManualSchemeChurnProperty, HyalineListKeepsSetSemanticsAndLeaksNothing) {
+    run_manual_churn<MichaelList<Key, Hyaline>>(std::get<0>(GetParam()),
+                                               kAllMixes[std::get<1>(GetParam())]);
+}
+
+TEST_P(ManualSchemeChurnProperty, DebraListKeepsSetSemanticsAndLeaksNothing) {
+    run_manual_churn<MichaelList<Key, Debra>>(std::get<0>(GetParam()),
+                                             kAllMixes[std::get<1>(GetParam())]);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsByMix, ManualSchemeChurnProperty,
                          ::testing::Combine(::testing::Values(1, 2, 4, 8),
                                             ::testing::Values(0, 1, 2)),
                          [](const auto& param_info) {

@@ -32,7 +32,8 @@ class ReclaimerContractTest : public ::testing::Test {};
 using Reclaimers =
     ::testing::Types<HazardPointers<TestNode, 4>, PassTheBuck<TestNode, 4>,
                      EpochBasedReclaimer<TestNode, 4>, HazardEras<TestNode, 4>,
-                     IntervalBasedReclaimer<TestNode, 4>, PassThePointer<TestNode, 4>>;
+                     IntervalBasedReclaimer<TestNode, 4>, PassThePointer<TestNode, 4>,
+                     Hyaline<TestNode, 4>, Debra<TestNode, 4>>;
 TYPED_TEST_SUITE(ReclaimerContractTest, Reclaimers);
 
 TYPED_TEST(ReclaimerContractTest, RetiredObjectsEventuallyFreed) {

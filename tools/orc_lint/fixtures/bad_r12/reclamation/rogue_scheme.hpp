@@ -1,0 +1,41 @@
+// R12 fixture: a scheme that re-forks the substrate's state instead of
+// deriving SchemeBase. The raw slot array, the ad-hoc retire vector and the
+// scheme-owned SchemeMetrics must each fire once; the scan scratch vector,
+// the plain loop bound and the justified suppression must stay silent.
+// Never compiled — linted only.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+namespace fixture {
+
+inline constexpr int kMaxThreads = 128;
+inline constexpr int kCacheLineSize = 64;
+
+class RogueScheme {
+  private:
+    // alignas keeps R4 satisfied: the violation here is R12's — per-thread
+    // slot state belongs in a State mixin handed to SchemeBase.
+    struct alignas(kCacheLineSize) Slot {
+        std::atomic<void*> hp{nullptr};
+        std::vector<void*> retired;  // fires: ad-hoc retire list
+    };
+
+    Slot tl_[kMaxThreads];  // fires: raw slot array outside the substrate
+
+    telemetry::SchemeMetrics metrics_;  // fires: scheme-owned metrics
+
+    std::vector<void*> hazards;  // silent: scan scratch, not a retire buffer
+
+    // orc-lint: allow(R12) teardown snapshot for a death-test assertion
+    std::vector<void*> limbo_snapshot;
+
+    void scan() {
+        for (int i = 0; i < kMaxThreads; ++i) {  // silent: loop bound, no array
+            (void)i;
+        }
+    }
+};
+
+}  // namespace fixture

@@ -64,6 +64,14 @@
 //       destruction-to-quiescence protocol runs (and never while holding
 //       the registry mutex its exit hook needs). A thread spawned anywhere
 //       else hides a lifecycle the domain destructor does not know about.
+//   R12 scheme files in src/reclamation/ ride the shared substrate
+//       (scheme_base.hpp): no raw `...[kMaxThreads]` slot-array
+//       declarations, no ad-hoc retire-list vectors (std::vector declarators
+//       named retired/bag/limbo/...), and no direct telemetry::SchemeMetrics
+//       ownership. Each re-forks state SchemeBase exists to own exactly
+//       once — and silently escapes the substrate's audited publish/scan
+//       memory-ordering contract. scheme_base.hpp itself is the one
+//       sanctioned home and is exempt.
 //
 // Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
 // line (or put it alone on the line above). Multiple rules:
@@ -115,6 +123,7 @@ struct RuleSet {
     bool r9b = false;  // core/ and reclamation/ only
     bool r10 = true;  // everywhere except core/orc_domain.hpp (the free path)
     bool r11 = false;  // core/ and reclamation/ (minus core/orc_bg_reclaimer.hpp)
+    bool r12 = false;  // reclamation/ only (minus scheme_base.hpp, the substrate)
 };
 
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
@@ -283,6 +292,7 @@ class FileLinter {
         if (rules_.r9b) check_r9b();
         if (rules_.r10) check_r10();
         if (rules_.r11) check_r11();
+        if (rules_.r12) check_r12();
     }
 
   private:
@@ -759,6 +769,102 @@ class FileLinter {
         }
     }
 
+    // ---- R12: scheme files ride the shared substrate ----------------------
+
+    /// True if a declarator name reads as a retire buffer. Matches on
+    /// '_'-split components so scan scratch like `hazards` or `keep` stays
+    /// clean while `retired_`, `my_bag` and `limbo_list` fire.
+    static bool retire_list_name(const std::string& name) {
+        static const std::set<std::string> kParts = {
+            "retired", "retire", "retires", "bag",  "bags",     "limbo",
+            "garbage", "zombie", "zombies", "dlist", "rlist",   "graveyard"};
+        std::string lower;
+        lower.reserve(name.size());
+        for (char c : name) {
+            lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        std::size_t b = 0;
+        while (b <= lower.size()) {
+            std::size_t e = lower.find('_', b);
+            if (e == std::string::npos) e = lower.size();
+            if (kParts.count(lower.substr(b, e - b)) != 0) return true;
+            if (e == lower.size()) break;
+            b = e + 1;
+        }
+        return false;
+    }
+
+    void check_r12() {
+        // (a) Raw per-thread slot arrays: the substrate owns the ONE padded
+        // tl_[kMaxThreads] array; schemes key into it through my_slot().
+        // Same declaration-vs-subscript discrimination as R4.
+        std::size_t pos = 0;
+        while ((pos = clean_.find("[kMaxThreads]", pos)) != std::string::npos) {
+            const std::size_t bracket = pos;
+            pos += 1;
+            const int lineno = line_of(bracket);
+            const std::string& line = clean_lines_[lineno - 1];
+            const std::size_t col = bracket - line_starts_[lineno - 1];
+            std::string before = trim(line.substr(0, col));
+            std::size_t e = before.size();
+            while (e > 0 && is_ident_char(before[e - 1])) --e;
+            if (trim(before.substr(0, e)).empty()) continue;  // subscript expression
+            emit("R12", lineno,
+                 "raw per-thread slot array in a scheme file — SchemeBase owns the one "
+                 "padded tl_[kMaxThreads] array; put per-thread protection words in the "
+                 "scheme's State mixin and key in through my_slot()");
+        }
+        // (b) Ad-hoc retire-list vectors: retire buffering (and its adaptive
+        // scan threshold + telemetry accounting) lives in the substrate's
+        // bags, reached through buffer_retired()/sweep_retired().
+        static const char kVec[] = "std::vector<";
+        pos = 0;
+        while ((pos = clean_.find(kVec, pos)) != std::string::npos) {
+            const std::size_t start = pos;
+            pos += sizeof(kVec) - 1;
+            if (start > 0 && is_ident_char(clean_[start - 1])) continue;
+            // Matching '>' with angle-depth so nested element types work.
+            std::size_t close = std::string::npos;
+            int depth = 0;
+            for (std::size_t i = start + sizeof(kVec) - 2; i < clean_.size(); ++i) {
+                if (clean_[i] == '<') ++depth;
+                else if (clean_[i] == '>' && --depth == 0) {
+                    close = i;
+                    break;
+                }
+            }
+            if (close == std::string::npos) continue;
+            std::size_t p = close + 1;
+            while (p < clean_.size() &&
+                   std::isspace(static_cast<unsigned char>(clean_[p]))) ++p;
+            std::size_t b = p;
+            while (p < clean_.size() && is_ident_char(clean_[p])) ++p;
+            if (p == b) continue;  // cast, parameter type, nested template
+            const std::string name = clean_.substr(b, p - b);
+            if (!retire_list_name(name)) continue;
+            emit("R12", line_of(start),
+                 "ad-hoc retire list '" + name +
+                     "' — retired objects go through the substrate's bags "
+                     "(SchemeBase::buffer_retired / sweep_retired), which carry the "
+                     "adaptive scan threshold and the freed/unreclaimed accounting");
+        }
+        // (c) Direct SchemeMetrics ownership: the substrate is the provider;
+        // schemes count through note_retire()/sweep_retired()/
+        // note_freed_objects() so every scheme's telemetry stays uniform.
+        for (std::size_t li = 0; li < clean_lines_.size(); ++li) {
+            const int lineno = static_cast<int>(li) + 1;
+            bool hit = false;  // one diagnostic per line
+            scan_tokens(clean_lines_[li], [&](std::string_view tok, std::size_t /*col*/) {
+                if (hit || tok != "SchemeMetrics") return;
+                hit = true;
+                emit("R12", lineno,
+                     "direct SchemeMetrics in a scheme file — SchemeBase is the metrics "
+                     "provider; count through note_retire()/sweep_retired()/"
+                     "note_freed_objects() instead");
+            });
+        }
+    }
+
     template <typename Fn>
     static void scan_tokens(const std::string& line, Fn&& fn) {
         std::size_t i = 0;
@@ -1074,6 +1180,11 @@ RuleSet rules_for_path(const std::string& generic_path) {
     // schemes escapes the domain destruction protocol.
     r.r11 = (core || generic_path.find("/reclamation/") != std::string::npos) &&
             generic_path.find("/core/orc_bg_reclaimer.hpp") == std::string::npos;
+    // The manual-scheme substrate is the one sanctioned home for slot
+    // arrays, retire bags and the SchemeMetrics provider; a scheme file that
+    // re-forks any of them has drifted off the shared (audited) paths.
+    r.r12 = generic_path.find("/reclamation/") != std::string::npos &&
+            generic_path.find("/scheme_base.hpp") == std::string::npos;
     return r;
 }
 
@@ -1097,7 +1208,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: orc_lint [--root DIR]... [FILE]...\n"
-                         "Lints OrcGC reclamation discipline (rules R1-R10).\n");
+                         "Lints OrcGC reclamation discipline (rules R1-R12).\n");
             return 0;
         } else {
             inputs.emplace_back(argv[i]);

@@ -94,7 +94,13 @@ using Body = std::function<std::uint64_t(int, const std::atomic<bool>&)>;
 
 void run_series(const char* series, const char* mix, const BenchConfig& cfg, const Body& body) {
     for (int threads : cfg.thread_counts) {
-        const RunStats stats = timed_run(threads, cfg.run_ms, cfg.runs, body);
+        // Delta the domain's retire→free age histogram around the run so the
+        // row carries this series' own latency percentiles (coarse ticks).
+        const telemetry::HistogramSnapshot age_before =
+            OrcDomain::global().metrics().snapshot().retire_free_age;
+        RunStats stats = timed_run(threads, cfg.run_ms, cfg.runs, body);
+        fill_age_percentiles(stats, OrcDomain::global().metrics().snapshot().retire_free_age,
+                             age_before);
         print_row("retire_batch", series, mix, threads, stats);
     }
 }

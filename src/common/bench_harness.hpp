@@ -61,7 +61,27 @@ struct BenchConfig {
 struct RunStats {
     double mean_ops_per_sec = 0;
     double stddev = 0;
+    // Retire→free age percentiles (telemetry::coarse_now ticks) for the
+    // series that produced this row; negative = not measured. Benches fill
+    // them by deltaing the domain's retire_free_age histogram around the
+    // run (fill_age_percentiles).
+    double age_p50 = -1;
+    double age_p99 = -1;
+    double age_p999 = -1;
 };
+
+/// Fills the age-percentile fields of `stats` from the delta between two
+/// retire_free_age histogram snapshots captured before and after one series
+/// run. No-op (fields stay negative) when the delta recorded nothing —
+/// telemetry-OFF builds, or a series that freed no stamped objects.
+inline void fill_age_percentiles(RunStats& stats, telemetry::HistogramSnapshot after,
+                                 const telemetry::HistogramSnapshot& before) {
+    after.subtract(before);
+    if (after.count() == 0) return;
+    stats.age_p50 = after.percentile(0.5);
+    stats.age_p99 = after.percentile(0.99);
+    stats.age_p999 = after.percentile(0.999);
+}
 
 /// Runs `body(tid_index, stop_flag)` on `threads` threads for `run_ms`,
 /// `runs` times. `body` returns the number of operations it completed.
@@ -141,7 +161,7 @@ class BenchJsonRecorder {
                 const RunStats& stats, double normalized) {
         if (!enabled()) return;
         rows_.push_back(Row{bench, series, mix, threads, stats.mean_ops_per_sec, stats.stddev,
-                            normalized});
+                            normalized, stats.age_p50, stats.age_p99, stats.age_p999});
     }
 
     /// Writes the collected rows plus the telemetry snapshot. Called from the
@@ -176,9 +196,16 @@ class BenchJsonRecorder {
                          r.bench.c_str(), r.series.c_str(), r.mix.c_str(), r.threads, r.mean,
                          r.stddev);
             if (r.normalized >= 0) {
-                std::fprintf(out, "\"normalized\": %.4f}", r.normalized);
+                std::fprintf(out, "\"normalized\": %.4f, ", r.normalized);
             } else {
-                std::fprintf(out, "\"normalized\": null}");
+                std::fprintf(out, "\"normalized\": null, ");
+            }
+            if (r.age_p50 >= 0) {
+                std::fprintf(out,
+                             "\"age_p50\": %.0f, \"age_p99\": %.0f, \"age_p999\": %.0f}",
+                             r.age_p50, r.age_p99, r.age_p999);
+            } else {
+                std::fprintf(out, "\"age_p50\": null, \"age_p99\": null, \"age_p999\": null}");
             }
             std::fprintf(out, i + 1 < rows_.size() ? ",\n" : "\n");
         }
@@ -193,6 +220,7 @@ class BenchJsonRecorder {
         std::string bench, series, mix;
         int threads;
         double mean, stddev, normalized;
+        double age_p50, age_p99, age_p999;
     };
 
     BenchJsonRecorder() {
@@ -230,12 +258,17 @@ inline void bench_json_init(int argc, char** argv) {
 inline void print_row(const char* bench, const char* series, const char* mix, int threads,
                       const RunStats& stats, double normalized = -1.0) {
     if (normalized >= 0) {
-        std::printf("%-22s %-16s %-10s t=%-3d %12.0f ops/s  (sd %8.0f)  norm=%.2f\n", bench,
+        std::printf("%-22s %-16s %-10s t=%-3d %12.0f ops/s  (sd %8.0f)  norm=%.2f", bench,
                     series, mix, threads, stats.mean_ops_per_sec, stats.stddev, normalized);
     } else {
-        std::printf("%-22s %-16s %-10s t=%-3d %12.0f ops/s  (sd %8.0f)\n", bench, series, mix,
+        std::printf("%-22s %-16s %-10s t=%-3d %12.0f ops/s  (sd %8.0f)", bench, series, mix,
                     threads, stats.mean_ops_per_sec, stats.stddev);
     }
+    if (stats.age_p50 >= 0) {
+        std::printf("  age[p50=%.0f p99=%.0f p999=%.0f]", stats.age_p50, stats.age_p99,
+                    stats.age_p999);
+    }
+    std::printf("\n");
     BenchJsonRecorder::instance().record(bench, series, mix, threads, stats, normalized);
     std::fflush(stdout);
 }

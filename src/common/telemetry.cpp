@@ -243,6 +243,16 @@ class Registry {
                     append_json_escaped(out, k);
                     out += "\": {\"count\": ";
                     append_u64(out, h.count());
+                    // Percentiles from the log2 buckets (intra-bucket linear
+                    // interpolation — see HistogramSnapshot::percentile),
+                    // rounded to integers: the recorded quantities are tick
+                    // counts, where sub-tick precision is noise.
+                    out += ", \"p50\": ";
+                    append_u64(out, static_cast<std::uint64_t>(h.percentile(0.5) + 0.5));
+                    out += ", \"p99\": ";
+                    append_u64(out, static_cast<std::uint64_t>(h.percentile(0.99) + 0.5));
+                    out += ", \"p999\": ";
+                    append_u64(out, static_cast<std::uint64_t>(h.percentile(0.999) + 0.5));
                     out += ", \"buckets\": [";
                     bool first_bucket = true;
                     for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
@@ -307,6 +317,14 @@ class Registry {
                 }
                 emit(nullptr, metric, src, "_bucket", ",le=\"+Inf\"", cumulative);
                 emit(nullptr, metric, src, "_count", "", cumulative);
+                // The Prometheus histogram type cannot carry quantiles, so
+                // the interpolated percentiles ride as companion gauges.
+                emit("gauge", metric + "_p50", src, "", "",
+                     static_cast<std::uint64_t>(h.percentile(0.5) + 0.5));
+                emit("gauge", metric + "_p99", src, "", "",
+                     static_cast<std::uint64_t>(h.percentile(0.99) + 0.5));
+                emit("gauge", metric + "_p999", src, "", "",
+                     static_cast<std::uint64_t>(h.percentile(0.999) + 0.5));
             }
         }
         return out;

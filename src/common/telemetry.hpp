@@ -79,6 +79,47 @@ inline std::uint64_t now_tsc() noexcept {
 #endif
 }
 
+/// Sanctioned timestamp source for retire→free age stamps in the engine and
+/// the manual schemes. orc-lint rule R13 confines raw timing calls (rdtsc,
+/// clock_gettime, steady_clock::now) to this header and orc_metrics.hpp, so
+/// every age measured anywhere in the tree shares one clock — the same
+/// coarse tsc the trace rings timestamp with.
+inline std::uint64_t coarse_now() noexcept {
+    if constexpr (kTelemetryEnabled) {
+        return now_tsc();
+    } else {
+        return 0;
+    }
+}
+
+/// Wall-clock monotonic nanoseconds, for coarse pacing decisions (e.g. the
+/// stalled-reader watchdog's sampling interval). Unlike now_tsc()/coarse_now()
+/// this is comparable across threads and convertible to human time, at the
+/// cost of a vDSO call — callers must already be off the per-op fast path.
+/// Lives here because R13 confines raw clock reads to the telemetry layer.
+inline std::uint64_t monotonic_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Retire→free ages are SAMPLED, not exhaustive: stampers take one
+/// coarse_now() reading per (kAgeSampleMask + 1) retires per thread, and
+/// only stamped objects record an age at free. Two rdtsc reads per object
+/// lifecycle is real money on a sub-microsecond retire/free op (it blew the
+/// 2% telemetry budget on the churn benches); a uniform 1-in-64 per-thread
+/// sample keeps the percentiles sound — every sampled age is still measured
+/// at full clock resolution at both ends — while the unsampled fast path
+/// pays a counter increment at retire and a load + predicted branch at free.
+inline constexpr std::uint32_t kAgeSampleMask = 63;
+
+/// Sentinel carried instead of an age when the freed object was never
+/// stamped (not sampled, telemetry off, or allocated behind the engine's
+/// back). Sinks must drop it, NOT record it — folding unsampled frees into
+/// bucket 0 would crush the percentiles toward zero.
+inline constexpr std::uint64_t kNoAge = ~0ull;
+
 // ---- counters -------------------------------------------------------------
 
 /// N per-thread relaxed counters on a private cache line per thread.
@@ -146,6 +187,18 @@ struct HistogramSnapshot {
 
     std::uint64_t buckets[kBuckets] = {};
 
+    /// Smallest value a bucket accepts (0 for bucket 0).
+    static constexpr std::uint64_t bucket_lower(int b) noexcept {
+        return b <= 0 ? 0 : std::uint64_t{1} << (b - 1);
+    }
+
+    /// Largest value a bucket accepts.
+    static constexpr std::uint64_t bucket_upper(int b) noexcept {
+        if (b <= 0) return 0;
+        if (b >= 64) return ~std::uint64_t{0};
+        return (std::uint64_t{1} << b) - 1;
+    }
+
     std::uint64_t count() const noexcept {
         std::uint64_t total = 0;
         for (std::uint64_t b : buckets) total += b;
@@ -154,6 +207,42 @@ struct HistogramSnapshot {
 
     void merge(const HistogramSnapshot& other) noexcept {
         for (int b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+    }
+
+    /// Bucket-wise clamped subtraction: turns two cumulative reads into an
+    /// interval delta (bench series isolate their own retire→free ages this
+    /// way).
+    void subtract(const HistogramSnapshot& other) noexcept {
+        for (int b = 0; b < kBuckets; ++b) {
+            buckets[b] -= other.buckets[b] < buckets[b] ? other.buckets[b] : buckets[b];
+        }
+    }
+
+    /// Estimated value at quantile q in [0, 1] (0.5 = p50, 0.999 = p999),
+    /// linearly interpolated inside the log2 bucket the rank falls in —
+    /// within a bucket, recorded values are assumed uniform over
+    /// [lower, upper]. q = 0 reads as the smallest recorded bucket's lower
+    /// bound, q = 1 as the largest bucket's upper bound; an empty histogram
+    /// returns 0.
+    double percentile(double q) const noexcept {
+        const std::uint64_t total = count();
+        if (total == 0) return 0.0;
+        if (q < 0.0) q = 0.0;
+        if (q > 1.0) q = 1.0;
+        const double rank = q * static_cast<double>(total);
+        std::uint64_t cum = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+            if (buckets[b] == 0) continue;
+            const std::uint64_t before = cum;
+            cum += buckets[b];
+            if (static_cast<double>(cum) < rank) continue;
+            const double lower = static_cast<double>(bucket_lower(b));
+            const double upper = static_cast<double>(bucket_upper(b));
+            const double f =
+                (rank - static_cast<double>(before)) / static_cast<double>(buckets[b]);
+            return lower + f * (upper - lower);
+        }
+        return static_cast<double>(bucket_upper(kBuckets - 1));
     }
 };
 
@@ -169,14 +258,12 @@ class LogHistogram {
 
     /// Smallest value a bucket accepts (0 for bucket 0).
     static constexpr std::uint64_t bucket_lower(int b) noexcept {
-        return b <= 0 ? 0 : std::uint64_t{1} << (b - 1);
+        return HistogramSnapshot::bucket_lower(b);
     }
 
     /// Largest value a bucket accepts.
     static constexpr std::uint64_t bucket_upper(int b) noexcept {
-        if (b <= 0) return 0;
-        if (b >= 64) return ~std::uint64_t{0};
-        return (std::uint64_t{1} << b) - 1;
+        return HistogramSnapshot::bucket_upper(b);
     }
 
     void record(std::uint64_t v) noexcept {
@@ -238,6 +325,8 @@ enum class TraceType : std::uint8_t {
     kDrain = 6,     ///< parked object taken out of a handover slot
     kShardPush = 7, ///< displaced object pushed onto a shard's MPSC inbox (arg = shard tid)
     kShardDrain = 8,///< one shard inbox exchanged empty (arg = objects taken)
+    kSpanBegin = 9, ///< a TraceSpan opened (arg = SpanKind)
+    kSpanEnd = 10,  ///< a TraceSpan closed (arg = SpanKind, obj = items payload)
 };
 
 inline const char* trace_type_name(TraceType t) noexcept {
@@ -250,6 +339,29 @@ inline const char* trace_type_name(TraceType t) noexcept {
         case TraceType::kDrain: return "drain";
         case TraceType::kShardPush: return "shard_push";
         case TraceType::kShardDrain: return "shard_drain";
+        case TraceType::kSpanBegin: return "span_begin";
+        case TraceType::kSpanEnd: return "span_end";
+    }
+    return "?";
+}
+
+/// What a kSpanBegin/kSpanEnd pair timed (the records' arg field). Kept in
+/// sync with tools/orc_trace.py, which names the Chrome-trace slices.
+enum class SpanKind : std::uint8_t {
+    kScanGeneration = 1, ///< one direction-swapped walk-park generation
+    kStealChunk = 2,     ///< one claim-ticket chunk settled for a shared scan
+    kHandoverDrain = 3,  ///< one handover-slot / shard-inbox drain pass
+    kBgCycle = 4,        ///< background reclaimer wake → park cycle
+    kHeavyFence = 5,     ///< one scan-entry asym::heavy() (membarrier) call
+};
+
+inline const char* span_kind_name(SpanKind k) noexcept {
+    switch (k) {
+        case SpanKind::kScanGeneration: return "scan_generation";
+        case SpanKind::kStealChunk: return "steal_chunk";
+        case SpanKind::kHandoverDrain: return "handover_drain";
+        case SpanKind::kBgCycle: return "bg_cycle";
+        case SpanKind::kHeavyFence: return "heavy_fence";
     }
     return "?";
 }
@@ -328,6 +440,41 @@ class TraceRing {
     std::unique_ptr<Slot[]> buf_;
     std::size_t cap_ = 0;
     std::atomic<std::uint64_t> head_{0};
+};
+
+/// Scoped begin/end pair in a TraceRing: construction records kSpanBegin,
+/// destruction kSpanEnd, both carrying the SpanKind as arg so the exporter
+/// can pair them per thread (tools/orc_trace.py turns the pairs into Chrome
+/// trace-event B/E slices, one track per tid). A null ring makes the whole
+/// object a no-op — callers resolve the ring once through their metrics
+/// handle (null while tracing is off), so an idle span costs one pointer
+/// test per end.
+class TraceSpan {
+  public:
+    TraceSpan(TraceRing* ring, SpanKind kind) noexcept : ring_(ring), kind_(kind) {
+        if (ring_ != nullptr) {
+            ring_->record(TraceType::kSpanBegin, nullptr,
+                          static_cast<std::uint64_t>(kind_));
+        }
+    }
+    ~TraceSpan() {
+        if (ring_ != nullptr) {
+            ring_->record(TraceType::kSpanEnd,
+                          reinterpret_cast<const void*>(static_cast<std::uintptr_t>(items_)),
+                          static_cast<std::uint64_t>(kind_));
+        }
+    }
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    /// Payload for the end record's obj field (objects drained, items
+    /// stolen, ... — whatever the span's work unit counts).
+    void note_items(std::uint64_t n) noexcept { items_ = n; }
+
+  private:
+    TraceRing* const ring_;
+    const SpanKind kind_;
+    std::uint64_t items_ = 0;
 };
 
 // ---- provider interface and registry --------------------------------------
@@ -437,6 +584,12 @@ class SchemeMetrics final : public MetricProvider {
     }
     void note_freed(std::uint64_t n = 1) noexcept { counters_.add(kFreed, n); }
 
+    /// Retire→free age of one freed object, in coarse_now() ticks (stamped
+    /// at retire by the substrate, read back on its free path). Multi-writer:
+    /// teardown frees run on whichever thread destroys the structure, so
+    /// this takes the locked-RMW record(), not record_owner().
+    void note_age(std::uint64_t age) noexcept { age_.record(age); }
+
     /// One reclamation pass (scan/collect/liberate). Refreshes the peak: scan
     /// entry is exactly when the retired backlog is at its local maximum.
     void note_scan() noexcept {
@@ -471,6 +624,9 @@ class SchemeMetrics final : public MetricProvider {
 
     void visit_extras(MetricSink& sink) const override {
         sink.gauge("unreclaimed", unreclaimed());
+        HistogramSnapshot age;
+        age_.read_into(age);
+        sink.histogram("retire_free_age", age);
     }
 
   private:
@@ -487,6 +643,8 @@ class SchemeMetrics final : public MetricProvider {
     const char* name_;
     PerThreadCounters<kNumCounters> counters_;
     std::atomic<std::uint64_t> peak_{0};
+    /// Retire→free ages (coarse_now() ticks), fed by SchemeBase::free_object.
+    LogHistogram age_;
 };
 
 }  // namespace telemetry

@@ -78,6 +78,20 @@ struct orc_base {
     /// it.
     orc_base* _orc_link = nullptr;
 
+#ifndef ORCGC_TELEMETRY_DISABLED
+    /// Retire timestamp (telemetry::coarse_now() ticks), written — for the
+    /// 1-in-64 of retires the age sampler picks (telemetry::kAgeSampleMask)
+    /// — by the unique thread whose CAS takes the retire token, before the
+    /// object is visible to any free path, and read once when the object is
+    /// deleted, to feed the domain's retire→free age histogram. Plain
+    /// (non-atomic): the token CAS/free protocol already orders the write
+    /// before every read. 0 means "never stamped" (not sampled, or
+    /// telemetry races at process teardown); such objects record no age.
+    /// Compiled out with the rest of the telemetry layer under
+    /// -DORCGC_TELEMETRY=OFF.
+    std::uint64_t _orc_rts = 0;
+#endif
+
     /// Drops the retire token; returns the post-drop _orc value. Used only by
     /// the engine's resurrection path (Algorithm 6). Token release is not a
     /// counter update, so the sequence field is deliberately left unchanged —

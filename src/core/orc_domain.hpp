@@ -63,6 +63,7 @@
 #include "common/fatal.hpp"
 #include "common/marked_ptr.hpp"
 #include "common/orcsan.hpp"
+#include "common/telemetry.hpp"
 #include "common/thread_registry.hpp"
 #include "common/tsan_annotations.hpp"
 #include "core/orc_base.hpp"
@@ -148,6 +149,26 @@ class OrcDomain {
     /// work; large enough that the claim RMW amortizes.
     static constexpr std::uint32_t kShareChunk = 16;
 
+    /// Stalled-reader watchdog (watchdog_sample): a slot whose heartbeat is
+    /// frozen must pin at least this many parked objects before it can be
+    /// flagged — a reader parked on one node is idle, not a leak source.
+    static constexpr std::uint64_t kStallPinnedMin = 2;
+
+    /// Cascade-end subsampling period of the automatic watchdog clock check:
+    /// one wall-clock read per this many cascades PER THREAD (power of two;
+    /// the counter lives in DomainState so the hot path touches no shared
+    /// cacheline). The clock read alone does not trigger a pass — see
+    /// kWatchdogIntervalNs.
+    static constexpr std::uint32_t kWatchdogPeriod = 64;
+
+    /// Minimum wall-clock spacing between automatic watchdog passes. A pass
+    /// walks every registered thread's hp and handover arrays, so running it
+    /// every kWatchdogPeriod cascades — microseconds apart on a churn
+    /// workload — taxed the retire path by double digits. A stalled reader
+    /// is a second-scale phenomenon: sampling at 100ms flags one within
+    /// ~200ms (two-sample streak) while the amortized cost rounds to zero.
+    static constexpr std::uint64_t kWatchdogIntervalNs = 100'000'000;
+
     /// The process-wide default domain — what OrcEngine::instance() fronts
     /// and what untagged objects (orc_base::_orc_dom == nullptr) route to.
     static OrcDomain& global() {
@@ -172,6 +193,7 @@ class OrcDomain {
     /// tight).
     int get_new_idx() {
         auto& t = tl_[thread_id()];
+        t.beat_tick();
         if (t.free_top < 0) {
             if (t.free_initialized) {
                 fatal("orcgc: thread exceeded %d live orc_ptr indices in one domain", kMaxHPs);
@@ -209,6 +231,7 @@ class OrcDomain {
     void release_idx(int idx, orc_base* obj) {
         if (idx <= 0) return;
         auto& t = tl_[thread_id()];
+        t.beat_tick();
         if (t.used_haz[idx] == 0) {
             fatal("orcgc: used_haz underflow at idx %d", idx);
         }
@@ -224,6 +247,7 @@ class OrcDomain {
                 // We own the retire token: nobody else can free obj now, so
                 // it is safe to unpublish before scanning.
                 metrics_.on_retire_token(obj);
+                stamp_retire(obj);
 #ifdef ORCGC_ORCSAN
                 orcsan::on_retire(obj);
 #endif
@@ -311,6 +335,7 @@ class OrcDomain {
         if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
                                               std::memory_order_seq_cst)) {
             metrics_.on_retire_token(obj);
+            stamp_retire(obj);
 #ifdef ORCGC_ORCSAN
             orcsan::on_retire(obj);
 #endif
@@ -331,6 +356,7 @@ class OrcDomain {
             if (obj->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
                                                   std::memory_order_seq_cst)) {
                 metrics_.on_retire_token(obj);
+                stamp_retire(obj);
 #ifdef ORCGC_ORCSAN
                 orcsan::on_retire(obj);
 #endif
@@ -386,6 +412,115 @@ class OrcDomain {
     /// Convenience forwarder for the event-trace flag (also settable
     /// process-wide for new domains via ORC_TRACE=1).
     void set_tracing(bool on) { metrics_.set_tracing(on); }
+
+    // ---- stalled-reader watchdog -------------------------------------------
+
+    /// One watchdog pass over every registered slot. A slot is a stall
+    /// suspect when, for two consecutive samples, (a) it still publishes at
+    /// least one protection, (b) its protection set shows no progress —
+    /// neither the slot-transition heartbeat (bumped by get_new_idx /
+    /// release_idx) nor the fingerprint of the published hp values has
+    /// moved — and (c) the garbage attributed to it — occupied handover
+    /// slots plus shard-inbox occupancy — is at least kStallPinnedMin and
+    /// non-decreasing.
+    ///
+    /// The two-signal progress test is what keeps the reader fast paths
+    /// untouched: a traversal that advances changes its published hp
+    /// VALUES, which the sampler fingerprints for free during the
+    /// `published` walk it already does, so protect_ptr/get_protected pay
+    /// nothing for the watchdog. Only slot acquire/release — per-traversal
+    /// operations, not per-node — tick the heartbeat, which covers the one
+    /// progressing pattern the fingerprint cannot see (release and
+    /// republish of identical values). A thread spinning protections over
+    /// the SAME nodes while its attributed garbage grows is deliberately
+    /// still a suspect: frozen protection set + growing pinned garbage is
+    /// the condition that starves reclamation, regardless of whether the
+    /// thread is descheduled or live-looping in place.
+    ///
+    /// Results land in the stall_suspects/stall_pinned gauges (exported by
+    /// metrics()) and the per-tid stall_suspect() flag. Runs time-gated
+    /// from cascade ends (at most one pass per kWatchdogIntervalNs,
+    /// domain-wide; see run_cascade); tests drive it directly. Concurrent
+    /// calls coalesce: a pass already in flight makes this one a no-op.
+    void watchdog_sample() noexcept {
+#ifndef ORCGC_TELEMETRY_DISABLED
+        if (wd_lock_.exchange(true, std::memory_order_acquire)) return;
+        std::uint64_t suspects = 0;
+        std::uint64_t pinned_total = 0;
+        const int wm = thread_id_watermark();
+        for (int it = 0; it < wm; ++it) {
+            auto& t = tl_[it];
+            const std::uint64_t b = t.beat.load(std::memory_order_relaxed);
+            const int bound = t.hp_wm.load(std::memory_order_acquire);
+            bool published = false;
+            std::uint64_t fp = 0;
+            for (int idx = 0; idx < bound; ++idx) {
+                orc_base* const p = t.hp[idx].load(std::memory_order_acquire);
+                published = published || p != nullptr;
+                // Order-sensitive accumulation: the same values in different
+                // slots fingerprint differently.
+                fp = fp * 1099511628211ull + reinterpret_cast<std::uint64_t>(p);
+            }
+            // Garbage attribution: everything parked against this slot's
+            // protections — occupied handover slots (hp_peak bound, same as
+            // handover_count) plus whatever scans displaced into its inbox.
+            const int peak = t.hp_peak.load(std::memory_order_acquire);
+            std::uint64_t pinned = 0;
+            for (int idx = 0; idx < peak; ++idx) {
+                if (t.handovers[idx].load(std::memory_order_acquire) != nullptr) ++pinned;
+            }
+            const int parked = t.inbox_size.load(std::memory_order_acquire);
+            if (parked > 0) pinned += static_cast<std::uint64_t>(parked);
+            bool suspect = false;
+            if (published && b == t.wd_beat && fp == t.wd_fp &&
+                pinned >= kStallPinnedMin && pinned >= t.wd_pinned) {
+                if (t.wd_streak < 0xff) ++t.wd_streak;
+                suspect = t.wd_streak >= 2;
+            } else {
+                t.wd_streak = 0;
+            }
+            t.wd_beat = b;
+            t.wd_fp = fp;
+            t.wd_pinned = pinned;
+            t.wd_flag.store(suspect ? 1 : 0, std::memory_order_release);
+            if (suspect) {
+                ++suspects;
+                pinned_total += pinned;
+            }
+        }
+        wd_suspects_.store(suspects, std::memory_order_release);
+        wd_pinned_.store(pinned_total, std::memory_order_release);
+        wd_lock_.store(false, std::memory_order_release);
+#endif
+    }
+
+    /// True when the last watchdog pass flagged `tid` as a stalled reader
+    /// pinning garbage.
+    bool stall_suspect(int tid) const noexcept {
+#ifndef ORCGC_TELEMETRY_DISABLED
+        return tl_[tid].wd_flag.load(std::memory_order_acquire) != 0;
+#else
+        (void)tid;
+        return false;
+#endif
+    }
+
+    /// Gauges computed by the last watchdog pass (the values metrics()
+    /// exports as stall_suspects / stall_pinned).
+    std::uint64_t stall_suspects() const noexcept {
+#ifndef ORCGC_TELEMETRY_DISABLED
+        return wd_suspects_.load(std::memory_order_acquire);
+#else
+        return 0;
+#endif
+    }
+    std::uint64_t stall_pinned() const noexcept {
+#ifndef ORCGC_TELEMETRY_DISABLED
+        return wd_pinned_.load(std::memory_order_acquire);
+#else
+        return 0;
+#endif
+    }
 
     // ---- background reclaimer (ORC_BG_RECLAIM) -----------------------------
 
@@ -584,6 +719,42 @@ class OrcDomain {
         int free_top = -1;
         bool free_initialized = false;
         bool retire_started = false;
+#ifndef ORCGC_TELEMETRY_DISABLED
+        /// Stalled-reader watchdog heartbeat: bumped by the owning thread on
+        /// protection-slot transitions only — get_new_idx and release_idx
+        /// (beat_tick) — NEVER on the publish fast paths
+        /// (protect_ptr/get_protected stay watchdog-free; the sampler infers
+        /// their progress from the published-value fingerprint instead, see
+        /// watchdog_sample). Read — rarely, and subsampled — by
+        /// watchdog_sample. Lives with the owner-exclusive fields so the
+        /// stores never bounce a scanner-shared line; the sampler's
+        /// occasional read pays the one transfer.
+        std::atomic<std::uint64_t> beat{0};
+        // Watchdog sampler memory for THIS slot: the previous sample's beat,
+        // published-hp fingerprint and pinned count plus the
+        // consecutive-frozen streak (all written only under wd_lock_ by
+        // watchdog_sample), and the published per-tid verdict wd_flag (read
+        // by stall_suspect). In the padded DomainState so the sampler's
+        // writes stay off every other slot's lines.
+        std::uint64_t wd_beat = 0;
+        std::uint64_t wd_fp = 0;
+        std::uint64_t wd_pinned = 0;
+        std::uint8_t wd_streak = 0;
+        std::atomic<std::uint8_t> wd_flag{0};
+        /// Owner-exclusive cascade counter electing one cascade in
+        /// kWatchdogPeriod to read the wall clock (run_cascade) — per-thread
+        /// so the cascade epilogue touches no shared cacheline.
+        std::uint32_t wd_cascades = 0;
+#endif
+        /// Heartbeat bump — owner-exclusive plain load+store (the sampler
+        /// only needs to see the value move eventually). The name carries no
+        /// telemetry vocabulary on purpose: the slot-transition paths that
+        /// call it are source-checked for purity (test_telemetry.cpp).
+        void beat_tick() noexcept {
+#ifndef ORCGC_TELEMETRY_DISABLED
+            beat.store(beat.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+#endif
+        }
         // Grown-once scratch: capacity is retained across calls, so
         // steady-state retires never touch the heap.
         std::vector<orc_base*> recursive_list;   // pending cascade generations
@@ -639,6 +810,36 @@ class OrcDomain {
     /// domain's tracked-object accounting, then deletes (which may push
     /// cascaded retires into recursive_list).
     void destroy(orc_base* ptr);  // defined below (needs domain_of)
+
+    /// Stamps the retire time on an object whose retire token the caller
+    /// just took — for one retire in every (telemetry::kAgeSampleMask + 1)
+    /// on this thread (see kAgeSampleMask for why ages are sampled). The
+    /// token CAS makes the caller the unique writer (see
+    /// orc_base::_orc_rts); the free paths turn the stamp into the
+    /// retire_free_age histogram sample via retire_age().
+    static void stamp_retire(orc_base* obj) noexcept {
+#ifndef ORCGC_TELEMETRY_DISABLED
+        static thread_local std::uint32_t sample_seq = 0;
+        if ((sample_seq++ & telemetry::kAgeSampleMask) == 0) {
+            obj->_orc_rts = telemetry::coarse_now();
+        }
+#endif
+        (void)obj;
+    }
+
+    /// coarse_now() ticks since `obj`'s retire stamp, or telemetry::kNoAge
+    /// when the object carries no stamp (not sampled, telemetry disabled, or
+    /// allocated behind the engine's back) — unstamped frees record nothing.
+    static std::uint64_t retire_age(const orc_base* obj) noexcept {
+#ifndef ORCGC_TELEMETRY_DISABLED
+        if (obj->_orc_rts != 0) {
+            const std::uint64_t now = telemetry::coarse_now();
+            return now > obj->_orc_rts ? now - obj->_orc_rts : 0;
+        }
+#endif
+        (void)obj;
+        return telemetry::kNoAge;
+    }
 
     /// Called (via DomainRegistry) while `tid` is still owned by the exiting
     /// thread; runs for EVERY live domain the process has.
@@ -763,7 +964,7 @@ class OrcDomain {
             if (lorc2 != lorc) continue;  // _orc moved during the scan: revalidate
             // Lemma 1: counter zero, token held, no hp found, sequence
             // unchanged across the scan — safe to destroy.
-            mh.on_free(ptr, /*batched=*/false);
+            mh.on_free(ptr, /*batched=*/false, retire_age(ptr));
             destroy(ptr);  // may push cascaded retires into recursive_list
             break;
         }
@@ -843,6 +1044,8 @@ class OrcDomain {
     void scan_generation(OrcMetrics::Hot& mh, DomainState& t, std::vector<orc_base*>& items,
                          std::vector<std::uint64_t>& lorc, std::vector<std::uint8_t>& state,
                          std::size_t begin, std::size_t end) {
+        telemetry::TraceSpan span(mh.span_ring(), telemetry::SpanKind::kScanGeneration);
+        span.note_items(static_cast<std::uint64_t>(end - begin));
         items.clear();
         lorc.clear();
         state.clear();
@@ -865,7 +1068,10 @@ class OrcDomain {
         // validation re-read (get_protected loop / Lemma 1 sequence check)
         // then sees the unlink or the moved _orc and cannot rely on the
         // missed publication.
-        asym::heavy();
+        {
+            telemetry::TraceSpan fence(mh.span_ring(), telemetry::SpanKind::kHeavyFence);
+            asym::heavy();
+        }
         const int nthreads = thread_id_watermark();
         std::size_t slots = 0;
         std::size_t published = 0;
@@ -911,7 +1117,7 @@ class OrcDomain {
     void settle_item(OrcMetrics::Hot& mh, orc_base* ptr, std::uint64_t lorc, std::uint8_t st) {
         if (st == kItemParked) return;
         if (st == kItemPending && ptr->_orc.load(std::memory_order_seq_cst) == lorc) {
-            mh.on_free(ptr, /*batched=*/true);
+            mh.on_free(ptr, /*batched=*/true, retire_age(ptr));
             destroy(ptr);
             return;
         }
@@ -957,8 +1163,12 @@ class OrcDomain {
                 continue;  // tk reloaded by the failed CAS: revalidate
             }
             const std::uint32_t i1 = i0 + kShareChunk < n ? i0 + kShareChunk : n;
-            for (std::uint32_t i = i0; i < i1; ++i) {
-                settle_item(mh, scan_.items[i], scan_.lorc[i], scan_.state[i]);
+            {
+                telemetry::TraceSpan span(mh.span_ring(), telemetry::SpanKind::kStealChunk);
+                span.note_items(i1 - i0);
+                for (std::uint32_t i = i0; i < i1; ++i) {
+                    settle_item(mh, scan_.items[i], scan_.lorc[i], scan_.state[i]);
+                }
             }
             if (thread_id() != scan_.owner_tid.load(std::memory_order_relaxed)) {
                 mh.on_steal(i1 - i0);
@@ -1006,8 +1216,10 @@ class OrcDomain {
         auto& t = tl_[tid];
         orc_base* head = t.inbox.exchange(nullptr, std::memory_order_acquire);
         if (head == nullptr) return;
+        telemetry::TraceSpan span(metrics_.span_ring(), telemetry::SpanKind::kHandoverDrain);
         std::int64_t taken = 0;
         for (orc_base* p = head; p != nullptr; p = p->_orc_link) ++taken;
+        span.note_items(static_cast<std::uint64_t>(taken));
         t.inbox_size.fetch_sub(static_cast<int>(taken), std::memory_order_relaxed);
         backlog_.fetch_sub(taken, std::memory_order_relaxed);
         metrics_.on_shard_drain(tid, static_cast<std::uint64_t>(taken));
@@ -1059,6 +1271,25 @@ class OrcDomain {
         t.retire_started = false;
         mh.on_cascade_end();
         note_cascade(cascade_len);
+#ifndef ORCGC_TELEMETRY_DISABLED
+        // Doubly subsampled watchdog: a per-thread counter (no shared
+        // cacheline on the cascade path) elects one cascade in
+        // kWatchdogPeriod to read the wall clock, and a full hp/handover
+        // pass runs only when kWatchdogIntervalNs has elapsed since the
+        // last one, domain-wide. Cascades fire per-retire on churn
+        // workloads, so a count-only cadence meant a pass every few
+        // microseconds — pure tax for a signal whose whole signature is
+        // "not changing for seconds".
+        if ((++t.wd_cascades & (kWatchdogPeriod - 1)) == 0) {
+            const std::uint64_t now = telemetry::monotonic_ns();
+            std::uint64_t last = wd_last_ns_.load(std::memory_order_relaxed);
+            if (now - last >= kWatchdogIntervalNs &&
+                wd_last_ns_.compare_exchange_strong(last, now,
+                                                    std::memory_order_relaxed)) {
+                watchdog_sample();
+            }
+        }
+#endif
     }
 
     /// Cascade-end bookkeeping for the background reclaimer: fold the
@@ -1089,6 +1320,7 @@ class OrcDomain {
     /// cascade's end, so nothing is lost between passes.
     void bg_drain_pass() {
         metrics_.on_bg_wake();
+        telemetry::TraceSpan span(metrics_.span_ring(), telemetry::SpanKind::kBgCycle);
         const int wm = thread_id_watermark();
         for (int it = 0; it < wm; ++it) drain_inbox(it);
     }
@@ -1105,7 +1337,10 @@ class OrcDomain {
         // take_snapshot): the caller holds ptr's retire token, so a publish
         // of ptr this fence misses was ordered after the token — and that
         // reader's validation load / lorc2 revalidation catches it.
-        asym::heavy();
+        {
+            telemetry::TraceSpan fence(mh.span_ring(), telemetry::SpanKind::kHeavyFence);
+            asym::heavy();
+        }
         for (int it = 0; it < nthreads; ++it) {
             auto& other = tl_[it];
             const int wm = other.hp_wm.load(std::memory_order_seq_cst);
@@ -1153,6 +1388,10 @@ class OrcDomain {
             if (ptr->_orc.compare_exchange_strong(expected, lorc + orc::kBRetired,
                                                   std::memory_order_seq_cst)) {
                 result = lorc + orc::kBRetired;
+                // The object is retired anew: restart its age clock so the
+                // histogram measures the final retire→free window, not the
+                // resurrection detour.
+                stamp_retire(ptr);
             }
         }
         unpublish_and_drain(t, 0);
@@ -1170,6 +1409,20 @@ class OrcDomain {
     std::atomic<std::uint64_t> cascade_ewma_{0};
     /// Latched from ORC_BG_RECLAIM at construction; per-domain overridable.
     std::atomic<BgReclaimer::Mode> bg_mode_{BgReclaimer::Mode::kOff};
+#ifndef ORCGC_TELEMETRY_DISABLED
+    // Stalled-reader watchdog state (watchdog_sample; per-tid sampler memory
+    // lives in DomainState). wd_lock_ serializes samplers; wd_last_ns_ is
+    // the wall-clock of the last automatic pass (run_cascade's cadence gate
+    // — the cascade counts themselves live per-thread in
+    // DomainState::wd_cascades). The exported gauges wd_suspects_/
+    // wd_pinned_ are wired into metrics_ by the constructor and therefore
+    // declared BEFORE it: members destroy in reverse order, and the
+    // provider's fold-on-death export reads them.
+    std::atomic<bool> wd_lock_{false};
+    std::atomic<std::uint64_t> wd_last_ns_{0};
+    std::atomic<std::uint64_t> wd_suspects_{0};
+    std::atomic<std::uint64_t> wd_pinned_{0};
+#endif
     OrcMetrics metrics_;
     SharedScan scan_;
     BgReclaimer bg_;
@@ -1249,6 +1502,9 @@ inline void OrcDomain::destroy(orc_base* ptr) {
 inline OrcDomain::OrcDomain(bool is_global) : is_global_(is_global), metrics_(is_global) {
     bg_mode_.store(BgReclaimer::mode_from_env(), std::memory_order_relaxed);
     metrics_.wire_shard_backlog(&backlog_);
+#ifndef ORCGC_TELEMETRY_DISABLED
+    metrics_.wire_stall_suspects(&wd_suspects_, &wd_pinned_);
+#endif
 #ifdef ORCGC_ORCSAN
     // Construct the shadow table before this domain completes construction,
     // so static teardown destroys it AFTER the global domain — whose

@@ -42,6 +42,16 @@
 //   handover_chain_len    successful handovers per retire_one invocation
 //   snapshot_hps          published hps captured per snapshot
 //   cascade_slots_scanned hp slots touched per top-level cascade
+//   retire_free_age       coarse_now() ticks from the retire-token CAS that
+//                         stamped the object (orc_base::_orc_rts) to its
+//                         delete — the wall-clock life of one piece of
+//                         garbage. SAMPLED 1-in-64 per retiring thread
+//                         (telemetry::kAgeSampleMask): stamped objects are
+//                         measured at full clock resolution on whichever
+//                         free path settles them (batched walk-park,
+//                         per-object rescan, shard drain, bg reclaimer),
+//                         unstamped ones record nothing. Exported with
+//                         p50/p99/p999
 //
 // peak_unreclaimed is SAMPLED, not exact: a per-node aggregate walk would
 // put kMaxThreads relaxed loads of other threads' lines on the retire path.
@@ -93,6 +103,7 @@ class OrcMetrics final : public telemetry::MetricProvider {
         kHistChainLen,
         kHistSnapshotHps,
         kHistCascadeSlots,
+        kHistAge,
         kNumHists
     };
 
@@ -151,17 +162,27 @@ class OrcMetrics final : public telemetry::MetricProvider {
             }
         }
 
-        /// `obj` is about to be deleted; `batched` selects the proving path.
-        void on_free(const void* obj, bool batched) noexcept {
+        /// `obj` is about to be deleted; `batched` selects the proving path;
+        /// `age` is its retire→free age in coarse_now() ticks, or
+        /// telemetry::kNoAge when the object carried no stamp (ages are
+        /// 1-in-64 sampled — see telemetry::kAgeSampleMask). kNoAge frees
+        /// record nothing: folding them into bucket 0 would crush the
+        /// percentiles toward zero.
+        void on_free(const void* obj, bool batched,
+                     std::uint64_t age = telemetry::kNoAge) noexcept {
             if constexpr (telemetry::kTelemetryEnabled) {
                 bump(t_->c[batched ? kFreedBatch : kFreedSlow]);
                 t_->hist[kHistLatencyGens].record_owner(gen_);
+                if (age != telemetry::kNoAge) {
+                    t_->hist[kHistAge].record_owner(age);
+                }
                 if (tracing_) {
                     t_->trace.record(telemetry::TraceType::kFree, obj, batched ? 1 : 0);
                 }
             } else {
                 (void)obj;
                 (void)batched;
+                (void)age;
             }
         }
 
@@ -282,6 +303,17 @@ class OrcMetrics final : public telemetry::MetricProvider {
             }
         }
 
+        /// The calling thread's trace ring while tracing is on, else null.
+        /// telemetry::TraceSpan takes this pointer: with tracing off (the
+        /// latched flag) a span collapses to two null tests.
+        telemetry::TraceRing* span_ring() noexcept {
+            if constexpr (telemetry::kTelemetryEnabled) {
+                return tracing_ ? &t_->trace : nullptr;
+            } else {
+                return nullptr;
+            }
+        }
+
       private:
         friend class OrcMetrics;
         /// `t` is null only in telemetry-off builds, where every member that
@@ -324,7 +356,10 @@ class OrcMetrics final : public telemetry::MetricProvider {
             (void)obj;
         }
     }
-    void on_free(const void* obj, bool batched) noexcept { hot().on_free(obj, batched); }
+    void on_free(const void* obj, bool batched,
+                 std::uint64_t age = telemetry::kNoAge) noexcept {
+        hot().on_free(obj, batched, age);
+    }
     void on_resurrect(const void* obj) noexcept { hot().on_resurrect(obj); }
     void on_scan_begin(const void* obj) noexcept { hot().on_scan_begin(obj); }
     void on_scan_end(const void* obj, std::uint64_t slots) noexcept {
@@ -384,6 +419,27 @@ class OrcMetrics final : public telemetry::MetricProvider {
         shard_backlog_ = backlog;
     }
 
+    /// One-shot span ring lookup for call sites outside a cascade frame
+    /// (bg-reclaimer cycles, shard drains). Null while tracing is off.
+    telemetry::TraceRing* span_ring() noexcept {
+        if constexpr (telemetry::kTelemetryEnabled) {
+            if (!trace_on_.load(std::memory_order_acquire)) return nullptr;
+            return &tb().trace;
+        } else {
+            return nullptr;
+        }
+    }
+
+    /// Wires the domain's stalled-reader watchdog gauges (suspect slots and
+    /// the objects their published HPs are pinning — see
+    /// OrcDomain::watchdog_sample) into this provider's export. Pointees
+    /// must outlive the provider (all are OrcDomain members).
+    void wire_stall_suspects(const std::atomic<std::uint64_t>* suspects,
+                             const std::atomic<std::uint64_t>* pinned) noexcept {
+        stall_suspects_ = suspects;
+        stall_pinned_ = pinned;
+    }
+
     // ---- reading -----------------------------------------------------------
 
     struct Snapshot {
@@ -411,6 +467,7 @@ class OrcMetrics final : public telemetry::MetricProvider {
         telemetry::HistogramSnapshot handover_chain_len;
         telemetry::HistogramSnapshot snapshot_hps;
         telemetry::HistogramSnapshot cascade_slots_scanned;
+        telemetry::HistogramSnapshot retire_free_age;
     };
 
     Snapshot snapshot() const {
@@ -441,6 +498,7 @@ class OrcMetrics final : public telemetry::MetricProvider {
             t.hist[kHistChainLen].read_into(s.handover_chain_len);
             t.hist[kHistSnapshotHps].read_into(s.snapshot_hps);
             t.hist[kHistCascadeSlots].read_into(s.cascade_slots_scanned);
+            t.hist[kHistAge].read_into(s.retire_free_age);
         }
         const std::uint64_t settled = s.freed_batch + s.freed_slow + s.resurrected;
         s.unreclaimed = s.retired > settled ? s.retired - settled : 0;
@@ -546,10 +604,17 @@ class OrcMetrics final : public telemetry::MetricProvider {
             const std::int64_t b = shard_backlog_->load(std::memory_order_acquire);
             sink.gauge("shard_backlog", b > 0 ? static_cast<std::uint64_t>(b) : 0);
         }
+        if (stall_suspects_ != nullptr) {
+            sink.gauge("stall_suspects", stall_suspects_->load(std::memory_order_acquire));
+        }
+        if (stall_pinned_ != nullptr) {
+            sink.gauge("stall_pinned", stall_pinned_->load(std::memory_order_acquire));
+        }
         sink.histogram("retire_latency_gens", s.retire_latency_gens);
         sink.histogram("handover_chain_len", s.handover_chain_len);
         sink.histogram("snapshot_hps", s.snapshot_hps);
         sink.histogram("cascade_slots_scanned", s.cascade_slots_scanned);
+        sink.histogram("retire_free_age", s.retire_free_age);
     }
 
     void dump_trace(std::FILE* out) const override {
@@ -654,6 +719,10 @@ class OrcMetrics final : public telemetry::MetricProvider {
     /// Live shard-inbox occupancy gauge, owned by the domain (see
     /// wire_shard_backlog); null until wired.
     const std::atomic<std::int64_t>* shard_backlog_ = nullptr;
+    /// Stalled-reader watchdog gauges, owned by the domain (see
+    /// wire_stall_suspects); null until wired.
+    const std::atomic<std::uint64_t>* stall_suspects_ = nullptr;
+    const std::atomic<std::uint64_t>* stall_pinned_ = nullptr;
     /// Per-thread block pointers, filled lazily by tb(). See tb() for why
     /// the blocks are side-allocations instead of an inline array.
     std::atomic<ThreadBlock*> tl_[telemetry::kTelemetryEnabled ? kMaxThreads : 1] = {};

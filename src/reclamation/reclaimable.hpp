@@ -46,6 +46,17 @@ struct ReclaimableBase {
     ReclaimableBase* hy_blink;
     std::atomic<std::int64_t> hy_refs;
 
+#ifndef ORCGC_TELEMETRY_DISABLED
+    /// Retire timestamp (telemetry::coarse_now() ticks), stamped by
+    /// SchemeBase::note_retire on the 1-in-64 of retires the age sampler
+    /// picks (telemetry::kAgeSampleMask) and read by its free path to feed
+    /// the per-scheme retire→free age histogram. Plain: written before the node
+    /// enters a retire bag, read after the scan that justifies the free —
+    /// both ends of every scheme's existing ordering. Compiled out with the
+    /// telemetry layer.
+    std::uint64_t retire_ts = 0;
+#endif
+
     ReclaimableBase() noexcept
         : birth_era(global_era().load(std::memory_order_acquire)),
           del_era(kEraNone),

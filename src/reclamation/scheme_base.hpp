@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/asym_fence.hpp"
@@ -47,6 +48,20 @@
 #include "reclamation/reclaimable.hpp"
 
 namespace orcgc {
+
+namespace detail {
+
+/// True when the node type carries ReclaimableBase::retire_ts. The manual
+/// schemes usually manage ReclaimableBase descendants, but the substrate
+/// also serves plain structs in tests/benches — those simply record no
+/// retire→free ages.
+template <typename U, typename = void>
+struct has_retire_ts : std::false_type {};
+template <typename U>
+struct has_retire_ts<U, std::void_t<decltype(std::declval<U&>().retire_ts)>>
+    : std::true_type {};
+
+}  // namespace detail
 
 /// CRTP base for manual schemes.
 ///   Derived      the scheme (provides kName, kUsesEras, the scan logic)
@@ -204,13 +219,24 @@ class SchemeBase {
 
     // ---- retire bags with the shared adaptive threshold -------------------
 
-    /// OrcSan + telemetry prologue shared by every retire().
+    /// OrcSan + telemetry prologue shared by every retire(). Also stamps the
+    /// node's retire timestamp — for one retire in every
+    /// (telemetry::kAgeSampleMask + 1) on this thread, see kAgeSampleMask —
+    /// which free_object() reads back to feed the per-scheme retire→free
+    /// age histogram.
     void note_retire(T* ptr) noexcept {
 #ifdef ORCGC_ORCSAN
         orcsan::on_manual_retire(ptr);
-#else
-        (void)ptr;
 #endif
+#ifndef ORCGC_TELEMETRY_DISABLED
+        if constexpr (detail::has_retire_ts<T>::value) {
+            static thread_local std::uint32_t sample_seq = 0;
+            if ((sample_seq++ & telemetry::kAgeSampleMask) == 0) {
+                ptr->retire_ts = telemetry::coarse_now();
+            }
+        }
+#endif
+        (void)ptr;
         metrics_.note_retired();
     }
 
@@ -277,9 +303,22 @@ class SchemeBase {
 
     // ---- the free path ----------------------------------------------------
 
-    /// OrcSan hook + delete. Callers that free outside sweep_retired() count
+    /// Age record + OrcSan hook + delete. Every scheme free funnels through
+    /// here (sweep_retired, the out-of-bag Hyaline/PTB/PTP paths, the
+    /// destructor sweep), so this is the ONE place the retire→free age is
+    /// measured — for the nodes note_retire() sampled a stamp onto;
+    /// unstamped nodes pay one load and a predicted branch and record
+    /// nothing. Callers that free outside sweep_retired() still count
     /// through note_freed_objects().
-    static void free_object(T* ptr) noexcept {
+    void free_object(T* ptr) noexcept {
+#ifndef ORCGC_TELEMETRY_DISABLED
+        if constexpr (detail::has_retire_ts<T>::value) {
+            if (ptr->retire_ts != 0) {
+                const std::uint64_t now = telemetry::coarse_now();
+                metrics_.note_age(now > ptr->retire_ts ? now - ptr->retire_ts : 0);
+            }
+        }
+#endif
 #ifdef ORCGC_ORCSAN
         orcsan::on_manual_free(ptr);
 #endif

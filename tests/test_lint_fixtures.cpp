@@ -1,6 +1,6 @@
 // Self-tests for the orc-lint static checker (tools/orc_lint/).
 //
-// Each rule R1–R11 must fire on its crafted bad fixture tree and stay silent
+// Each rule R1–R13 must fire on its crafted bad fixture tree and stay silent
 // on the good tree; the suppression grammar must reject a bare allow() and
 // honor a justified one. The last test is the enforcement gate itself: the
 // real src/ tree must lint clean. Fixture paths and the linter binary
@@ -138,6 +138,17 @@ TEST(OrcLintFixtures, R12FiresOnSubstrateForksInSchemeFiles) {
     // justified suppression stay silent. (scheme_base.hpp itself is exempt —
     // the substrate being clean is covered by RepositoryTreeIsClean.)
     EXPECT_EQ(count_rule(r.output, "R12"), 3) << r.output;
+}
+
+TEST(OrcLintFixtures, R13FiresOnRawTimingInEngine) {
+    const LintResult r = run_lint(fixture("bad_r13"));
+    EXPECT_EQ(r.exit_code, 1) << r.output;
+    // The rdtsc intrinsic, the clock_gettime call, and the
+    // steady_clock::now read; the time_point type mention and the justified
+    // suppression stay silent. (telemetry.hpp lives in common/, outside the
+    // rule's scope; orc_metrics.hpp's exemption is covered by
+    // RepositoryTreeIsClean.)
+    EXPECT_EQ(count_rule(r.output, "R13"), 3) << r.output;
 }
 
 TEST(OrcLintFixtures, BareSuppressionIsAnErrorAndDoesNotSuppress) {

@@ -182,6 +182,54 @@ TEST(LogHistogramTest, MergeAddsBucketwise) {
     EXPECT_EQ(empty.count(), 0u);
 }
 
+TEST(HistogramPercentileTest, EmptyHistogramReadsZero) {
+    HistogramSnapshot snap;
+    EXPECT_EQ(snap.percentile(0.0), 0.0);
+    EXPECT_EQ(snap.percentile(0.5), 0.0);
+    EXPECT_EQ(snap.percentile(1.0), 0.0);
+}
+
+TEST(HistogramPercentileTest, InterpolatesInsideTheBucket) {
+    // 4 counts in bucket 3 = [4, 7]: ranks spread uniformly over the bucket.
+    HistogramSnapshot snap;
+    snap.buckets[3] = 4;
+    EXPECT_DOUBLE_EQ(snap.percentile(0.0), 4.0);   // lower edge
+    EXPECT_DOUBLE_EQ(snap.percentile(0.5), 5.5);   // rank 2 of 4: 4 + 0.5*3
+    EXPECT_DOUBLE_EQ(snap.percentile(1.0), 7.0);   // upper edge
+    EXPECT_DOUBLE_EQ(snap.percentile(0.25), 4.75);  // rank 1 of 4
+}
+
+TEST(HistogramPercentileTest, WalksCumulativeRanksAcrossBuckets) {
+    // 1 count at value 1 (bucket 1, a point bucket) and 1 in [8, 15].
+    HistogramSnapshot snap;
+    snap.buckets[1] = 1;
+    snap.buckets[4] = 1;
+    EXPECT_DOUBLE_EQ(snap.percentile(0.5), 1.0);    // rank 1 exhausts bucket 1
+    EXPECT_DOUBLE_EQ(snap.percentile(0.75), 11.5);  // half into [8, 15]
+    EXPECT_DOUBLE_EQ(snap.percentile(1.0), 15.0);
+    // Tail quantiles of a skewed fill: 99 low values, 1 high outlier.
+    HistogramSnapshot skew;
+    skew.buckets[0] = 99;
+    skew.buckets[10] = 1;  // [512, 1023]
+    EXPECT_DOUBLE_EQ(skew.percentile(0.5), 0.0);
+    EXPECT_GE(skew.percentile(0.999), 512.0);  // the outlier dominates p999
+    // Out-of-range quantiles clamp instead of walking off the array.
+    EXPECT_DOUBLE_EQ(skew.percentile(-1.0), skew.percentile(0.0));
+    EXPECT_DOUBLE_EQ(skew.percentile(2.0), skew.percentile(1.0));
+}
+
+TEST(HistogramPercentileTest, SubtractClampsBucketwise) {
+    HistogramSnapshot after;
+    after.buckets[2] = 5;
+    HistogramSnapshot before;
+    before.buckets[2] = 3;
+    before.buckets[5] = 10;  // e.g. a racing reset between the two reads
+    after.subtract(before);
+    EXPECT_EQ(after.buckets[2], 2u);
+    EXPECT_EQ(after.buckets[5], 0u) << "negative deltas must clamp, not wrap";
+    EXPECT_EQ(after.count(), 2u);
+}
+
 TEST(LogHistogramTest, ConcurrentRecordsLoseNothing) {
     constexpr int kThreads = 8;
     constexpr int kIters = 20000;
@@ -243,6 +291,61 @@ TEST(TraceRingTest, ReserveIsIdempotent) {
     EXPECT_EQ(ring.snapshot()[0].arg, 1u);
 }
 
+// ---- TraceSpan -------------------------------------------------------------
+
+TEST(TraceSpanTest, NullRingIsANoOp) {
+    telemetry::TraceSpan span(nullptr, telemetry::SpanKind::kBgCycle);
+    span.note_items(42);  // must not crash or record anywhere
+}
+
+TEST(TraceSpanTest, PairsCarryKindAndItemsAcrossRingWrap) {
+    // An odd capacity against 2-record pairs forces the wrap to cut a pair
+    // in half: the snapshot must start with exactly one orphan kSpanEnd
+    // (its begin evicted), then strictly alternating begin/end pairs whose
+    // kind and items payload survive intact.
+    constexpr std::size_t kCap = 7;
+    constexpr std::uint64_t kSpans = 20;
+    TraceRing ring;
+    ring.reserve(kCap);
+    for (std::uint64_t i = 0; i < kSpans; ++i) {
+        telemetry::TraceSpan span(&ring, telemetry::SpanKind::kStealChunk);
+        span.note_items(i);
+    }
+    const std::vector<TraceRecord> records = ring.snapshot();
+    ASSERT_EQ(records.size(), kCap);
+    // 40 records into a 7-slot ring: oldest surviving record is #33, an end.
+    EXPECT_EQ(records[0].type, TraceType::kSpanEnd);
+    int open = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const TraceRecord& r = records[i];
+        EXPECT_EQ(r.arg,
+                  static_cast<std::uint64_t>(telemetry::SpanKind::kStealChunk));
+        if (r.type == TraceType::kSpanBegin) {
+            EXPECT_EQ(open, 0) << "begin while a span is open";
+            ++open;
+        } else {
+            ASSERT_EQ(r.type, TraceType::kSpanEnd);
+            EXPECT_TRUE(open == 1 || i == 0) << "orphan end past the wrap point";
+            open = 0;
+            // End records carry the items payload; record #33 closed span 16.
+            EXPECT_EQ(r.obj, (33 + i) / 2u);
+        }
+    }
+    EXPECT_EQ(open, 0) << "the newest span's end record must be present";
+}
+
+TEST(TraceSpanTest, SpanKindNamesMatchTheExporterContract) {
+    // tools/orc_trace.py hard-codes this mapping (SPAN_KINDS); renaming a
+    // kind here without updating the exporter breaks the Chrome traces.
+    using telemetry::SpanKind;
+    using telemetry::span_kind_name;
+    EXPECT_STREQ(span_kind_name(SpanKind::kScanGeneration), "scan_generation");
+    EXPECT_STREQ(span_kind_name(SpanKind::kStealChunk), "steal_chunk");
+    EXPECT_STREQ(span_kind_name(SpanKind::kHandoverDrain), "handover_drain");
+    EXPECT_STREQ(span_kind_name(SpanKind::kBgCycle), "bg_cycle");
+    EXPECT_STREQ(span_kind_name(SpanKind::kHeavyFence), "heavy_fence");
+}
+
 // ---- OrcMetrics end-to-end -------------------------------------------------
 
 TEST(OrcMetricsTest, EveryRetireTokenIsAccountedForAtQuiescence) {
@@ -262,6 +365,40 @@ TEST(OrcMetricsTest, EveryRetireTokenIsAccountedForAtQuiescence) {
     EXPECT_GE(s.peak_unreclaimed, 1u);
     // The latency histogram records one entry per free.
     EXPECT_EQ(s.retire_latency_gens.count(), s.freed_batch + s.freed_slow);
+}
+
+TEST(OrcMetricsTest, RetireFreeAgeSamplesFreesAndExportsPercentiles) {
+    auto domain = std::make_unique<OrcDomain>();
+    for (int i = 0; i < 1000; ++i) {
+        orc_ptr<Node*> p = make_orc_in<Node>(*domain, i);
+    }
+    const OrcMetrics::Snapshot s = domain->metrics().snapshot();
+    // Ages are 1-in-64 sampled (telemetry::kAgeSampleMask): 1000 same-thread
+    // retires must stamp floor-or-ceil of 1000/64 of them — the thread's
+    // sample phase at entry is arbitrary (earlier tests also retire), so
+    // only the rate is exact, not the offset. Every stamped object frees
+    // inside the loop, so the histogram count IS the stamp count.
+    const std::uint64_t period = telemetry::kAgeSampleMask + 1;
+    EXPECT_GE(s.retire_free_age.count(), 1000 / period);
+    EXPECT_LE(s.retire_free_age.count(), 1000 / period + 1);
+    EXPECT_LT(s.retire_free_age.count(), s.freed_batch + s.freed_slow);
+    // p50 <= p99 <= p999 by construction; all finite and within the tick
+    // domain (immediate scope-exit frees land in the low buckets).
+    const double p50 = s.retire_free_age.percentile(0.5);
+    const double p99 = s.retire_free_age.percentile(0.99);
+    const double p999 = s.retire_free_age.percentile(0.999);
+    EXPECT_LE(p50, p99);
+    EXPECT_LE(p99, p999);
+    // The JSON export carries the percentile keys inside the histogram
+    // object (what orc_top's latency panel and the bench artifacts read).
+    const std::string json = telemetry::export_json();
+    const std::size_t at = json.find("\"retire_free_age\"");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t scope_end = json.find("]", at);  // buckets array close
+    const std::string scope = json.substr(at, scope_end - at);
+    EXPECT_NE(scope.find("\"p50\":"), std::string::npos) << scope;
+    EXPECT_NE(scope.find("\"p99\":"), std::string::npos) << scope;
+    EXPECT_NE(scope.find("\"p999\":"), std::string::npos) << scope;
 }
 
 TEST(OrcMetricsTest, ResetZeroesEverything) {
@@ -488,6 +625,11 @@ TEST(FastPathPurityTest, LoadAndProtectPathsCarryNoInstrumentation) {
             << marker << " must not trace";
         EXPECT_EQ(body.find("telemetry::"), std::string::npos)
             << marker << " must not reach into the telemetry layer";
+        // The stalled-reader watchdog infers publish-path progress from the
+        // published-value fingerprint precisely so these paths never tick
+        // the heartbeat (see watchdog_sample).
+        EXPECT_EQ(body.find("beat_tick"), std::string::npos)
+            << marker << " must not carry the watchdog heartbeat";
     }
 }
 

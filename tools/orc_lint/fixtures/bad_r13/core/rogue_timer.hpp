@@ -1,0 +1,35 @@
+// R13 fixture: raw timing calls in an engine file outside the telemetry
+// layer. The rdtsc intrinsic, the POSIX clock call and the steady_clock::now
+// read must all fire; the steady_clock type mention (no ::now) and the
+// justified suppression must stay silent.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+struct RogueTimer {
+    using Deadline = std::chrono::steady_clock::time_point;  // silent: no clock read
+
+    unsigned long long stamp() {
+        return __builtin_ia32_rdtsc();  // fires: rdtsc outside the telemetry layer
+    }
+
+    long stamp_posix() {
+        timespec ts{};
+        clock_gettime(CLOCK_MONOTONIC, &ts);  // fires: raw POSIX clock call
+        return ts.tv_nsec;
+    }
+
+    Deadline deadline() {
+        return std::chrono::steady_clock::now();  // fires: raw clock read
+    }
+
+    long long sanctioned() {
+        // orc-lint: allow(R13) test double for the tick source; mirrors coarse_now
+        return std::chrono::steady_clock::now().time_since_epoch().count();
+    }
+};
+
+}  // namespace fixture

@@ -72,6 +72,15 @@
 //       once — and silently escapes the substrate's audited publish/scan
 //       memory-ordering contract. scheme_base.hpp itself is the one
 //       sanctioned home and is exempt.
+//   R13 no raw timing calls (rdtsc intrinsics, clock_gettime, gettimeofday,
+//       steady_clock::now) in src/core/ or src/reclamation/ — timestamps in
+//       engine/reclamation code go through telemetry::coarse_now()/now_tsc()
+//       (src/common/telemetry.hpp), which pick the cheap counter per
+//       platform and compile to nothing under -DORCGC_TELEMETRY=OFF. A raw
+//       clock call is both an overhead-gate leak (it survives the OFF build)
+//       and an incomparable unit (ages and spans must share one tick
+//       domain). orc_metrics.hpp — the telemetry layer's engine half — is
+//       exempt.
 //
 // Suppressions: append `// orc-lint: allow(R1) <reason>` to the offending
 // line (or put it alone on the line above). Multiple rules:
@@ -124,6 +133,8 @@ struct RuleSet {
     bool r10 = true;  // everywhere except core/orc_domain.hpp (the free path)
     bool r11 = false;  // core/ and reclamation/ (minus core/orc_bg_reclaimer.hpp)
     bool r12 = false;  // reclamation/ only (minus scheme_base.hpp, the substrate)
+    bool r13 = false;  // core/ and reclamation/ (minus orc_metrics.hpp, the
+                       // telemetry layer's engine half)
 };
 
 bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
@@ -293,6 +304,7 @@ class FileLinter {
         if (rules_.r10) check_r10();
         if (rules_.r11) check_r11();
         if (rules_.r12) check_r12();
+        if (rules_.r13) check_r13();
     }
 
   private:
@@ -865,6 +877,44 @@ class FileLinter {
         }
     }
 
+    // ---- R13: raw timing calls live in the telemetry layer only -----------
+
+    void check_r13() {
+        for (std::size_t li = 0; li < clean_lines_.size(); ++li) {
+            const std::string& line = clean_lines_[li];
+            const std::string t = trim(line);
+            if (!t.empty() && t[0] == '#') continue;  // includes name time.h
+            const int lineno = static_cast<int>(li) + 1;
+            bool hit = false;  // one diagnostic per line, however many tokens
+            scan_tokens(line, [&](std::string_view tok, std::size_t col) {
+                if (hit) return;
+                // rdtsc in any spelling (rdtsc, _rdtsc, __rdtsc,
+                // __builtin_ia32_rdtsc, rdtscp) plus the POSIX clock calls.
+                const bool timing_token = tok.find("rdtsc") != std::string_view::npos ||
+                                          tok == "clock_gettime" || tok == "gettimeofday";
+                // steady_clock alone is legal API surface (time_point
+                // parameters, deadline arithmetic); reading the clock needs
+                // the trailing ::now.
+                bool steady_now = false;
+                if (tok == "steady_clock") {
+                    std::size_t p = col + tok.size();
+                    while (p < line.size() && line[p] == ' ') ++p;
+                    if (p + 1 < line.size() && line[p] == ':' && line[p + 1] == ':') {
+                        p += 2;
+                        while (p < line.size() && line[p] == ' ') ++p;
+                        steady_now = line.compare(p, 3, "now") == 0;
+                    }
+                }
+                if (!timing_token && !steady_now) return;
+                hit = true;
+                emit("R13", lineno,
+                     "raw timing call in engine/reclamation code — timestamps go "
+                     "through telemetry::coarse_now()/now_tsc() (one tick domain, "
+                     "compiled out under -DORCGC_TELEMETRY=OFF)");
+            });
+        }
+    }
+
     template <typename Fn>
     static void scan_tokens(const std::string& line, Fn&& fn) {
         std::size_t i = 0;
@@ -1185,6 +1235,12 @@ RuleSet rules_for_path(const std::string& generic_path) {
     // re-forks any of them has drifted off the shared (audited) paths.
     r.r12 = generic_path.find("/reclamation/") != std::string::npos &&
             generic_path.find("/scheme_base.hpp") == std::string::npos;
+    // Raw clocks are the telemetry layer's business: telemetry.hpp (in
+    // common/, outside this rule's scope) and its engine half
+    // (orc_metrics.hpp) own the tick source; the rest of the engine and the
+    // manual schemes stamp through coarse_now()/now_tsc().
+    r.r13 = (core || generic_path.find("/reclamation/") != std::string::npos) &&
+            generic_path.find("/orc_metrics.hpp") == std::string::npos;
     return r;
 }
 
@@ -1208,7 +1264,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--help" || arg == "-h") {
             std::fprintf(stderr,
                          "usage: orc_lint [--root DIR]... [FILE]...\n"
-                         "Lints OrcGC reclamation discipline (rules R1-R12).\n");
+                         "Lints OrcGC reclamation discipline (rules R1-R13).\n");
             return 0;
         } else {
             inputs.emplace_back(argv[i]);

@@ -28,6 +28,13 @@ Sources whose export carries sharded-retirement activity (see DESIGN.md
 shared-scan install/steal counters, the background-reclaimer wake/park
 counters, and the live shard_backlog gauge (objects currently parked across
 the domain's MPSC inboxes).
+
+Sources carrying a retire_free_age histogram (see DESIGN.md §1.8) get a
+latency panel: retire→free age percentiles (p50/p99/p999, in
+telemetry::coarse_now ticks) plus the stalled-reader watchdog gauges —
+stall_suspects (reader slots whose heartbeat froze while pinning growing
+garbage; any non-zero value is flagged) and stall_pinned (objects those
+slots hold hostage).
 """
 import argparse
 import json
@@ -118,6 +125,35 @@ def render_shards(sources, out):
             print(f"  {'backlog (live)':<14} {fmt_count(backlog):>9}", file=out)
 
 
+def render_latency(sources, out):
+    """Reclamation-latency panel: retire→free age percentiles per source
+    plus the stalled-reader watchdog gauges (flagged when suspects > 0)."""
+    rows = []
+    for src in sorted(sources, key=lambda s: s["name"]):
+        age = src.get("histograms", {}).get("retire_free_age")
+        gauges = src.get("gauges", {})
+        suspects = gauges.get("stall_suspects")
+        if (age is None or age.get("count", 0) == 0) and not suspects:
+            continue
+        rows.append((src["name"], age or {}, gauges))
+    if not rows:
+        return
+    header = (f"\n{'LATENCY':<16} {'AGE n':>9} {'p50':>8} {'p99':>8} "
+              f"{'p999':>8} {'STALLS':>7} {'PINNED':>7}")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for name, age, gauges in rows:
+        suspects = gauges.get("stall_suspects", 0)
+        flag = "  <-- stalled reader(s)" if suspects else ""
+        print(
+            f"{name:<16} {fmt_count(age.get('count', 0)):>9} "
+            f"{fmt_count(age.get('p50', 0)):>8} {fmt_count(age.get('p99', 0)):>8} "
+            f"{fmt_count(age.get('p999', 0)):>8} {fmt_count(suspects):>7} "
+            f"{fmt_count(gauges.get('stall_pinned', 0)):>7}{flag}",
+            file=out,
+        )
+
+
 def render_histograms(sources, out):
     for src in sorted(sources, key=lambda s: s["name"]):
         for name, hist in sorted(src.get("histograms", {}).items()):
@@ -153,6 +189,7 @@ def main() -> int:
         if args.watch is not None:
             sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
         render_table(sources, sys.stdout)
+        render_latency(sources, sys.stdout)
         render_shards(sources, sys.stdout)
         render_orcsan(sources, sys.stdout)
         if args.hist:
